@@ -1,0 +1,44 @@
+package repro_test
+
+import "repro/internal/sim"
+
+// newBusyKernel schedules n chained events.
+func newBusyKernel(n int) *sim.Kernel {
+	k := sim.NewKernel()
+	var fire func()
+	left := n
+	fire = func() {
+		left--
+		if left > 0 {
+			k.At(1, fire)
+		}
+	}
+	k.At(1, fire)
+	return k
+}
+
+// newPingPongProcs bounces control between two processes n times.
+func newPingPongProcs(n int) *sim.Kernel {
+	k := sim.NewKernel()
+	var c1, c2 sim.Cond
+	turn := 0
+	k.Spawn("a", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			for turn%2 != 0 {
+				c1.Wait(p)
+			}
+			turn++
+			c2.Broadcast()
+		}
+	})
+	k.Spawn("b", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			for turn%2 != 1 {
+				c2.Wait(p)
+			}
+			turn++
+			c1.Broadcast()
+		}
+	})
+	return k
+}

@@ -1,0 +1,219 @@
+// Command offloadbench regenerates every table and figure of the paper's
+// evaluation on the simulated BlueField cluster.
+//
+// Usage:
+//
+//	offloadbench <figure> [flags]
+//
+// Figures: fig2 fig3 fig4 fig5 fig11 fig12 fig13 fig14 fig15 fig16a fig16b
+// fig16c fig17 ablation all
+//
+// Defaults are scaled to finish in minutes on a laptop (fewer iterations
+// and, for the applications, a reduced PPN); fig17 is the slowest at
+// roughly 15 minutes. Pass -ppn 32 -full for paper-scale runs. All times
+// are virtual (simulated) nanosecond-resolution measurements and are fully
+// deterministic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/figures"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	fig := os.Args[1]
+	fs := flag.NewFlagSet(fig, flag.ExitOnError)
+	var (
+		ppn    = fs.Int("ppn", 0, "processes per node (0 = figure default)")
+		iters  = fs.Int("iters", 0, "measured iterations (0 = figure default)")
+		warmup = fs.Int("warmup", 4, "warmup iterations (benchmark level; apps run with none)")
+		full   = fs.Bool("full", false, "paper-scale parameters (slow)")
+		memGB  = fs.Int("memgb", 0, "HPL memory per node in GB (0 = default)")
+		nb     = fs.Int("nb", 256, "HPL block size")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	p := params{ppn: *ppn, iters: *iters, warmup: *warmup, full: *full, memGB: *memGB, nb: *nb}
+	out := os.Stdout
+
+	run := func(name string) {
+		switch name {
+		case "fig2":
+			figures.Fig2(p.it(20)).Fprint(out)
+		case "fig3":
+			figures.Fig3(64, p.it(4)).Fprint(out)
+		case "fig4":
+			figures.Fig4(*warmup, p.it(10)).Fprint(out)
+		case "fig5":
+			figures.Fig5().Fprint(out)
+		case "fig11", "fig12":
+			t11, t12 := figures.Fig11And12(16, p.appPPN(), *warmup, p.it(3), p.stencilProblems())
+			if name == "fig11" {
+				t11.Fprint(out)
+			} else {
+				t12.Fprint(out)
+			}
+		case "fig13", "fig14":
+			t13s, t14s := figures.Fig13And14([]int{4, 8, 16}, p.a2aPPN(), p.a2aSizes(), *warmup, p.it(2))
+			ts := t13s
+			if name == "fig14" {
+				ts = t14s
+			}
+			for _, t := range ts {
+				t.Fprint(out)
+			}
+		case "fig15":
+			figures.Fig15(8, p.a2aPPN(), p.fig15Sizes(), *warmup, p.it(3), true).Fprint(out)
+		case "fig16a":
+			figures.Fig16(8, p.appPPN(), 256, []int{512, 1024, 2048}, p.it(2)).Fprint(out)
+		case "fig16b":
+			figures.Fig16(16, p.appPPN(), 512, []int{1024, 2048, 4096}, p.it(2)).Fprint(out)
+		case "fig16c":
+			figures.Fig16C(8, p.appPPN(), 256, 512, p.it(2)).Fprint(out)
+		case "fig17":
+			figures.Fig17(16, p.hplPPN(), p.hplMemGB(), *nb, []int{5, 10, 25, 50, 75}).Fprint(out)
+		case "ablation":
+			for _, t := range figures.Ablations(p.a2aPPN(), *warmup, p.it(2)) {
+				t.Fprint(out)
+			}
+		case "ext-bf3":
+			figures.ExtBF3(4, p.a2aPPN(), p.a2aSizes(), *warmup, p.it(2)).Fprint(out)
+		case "ext-allgather":
+			figures.ExtIallgather(4, p.a2aPPN(), p.a2aSizes(), *warmup, p.it(2)).Fprint(out)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
+			usage()
+			os.Exit(2)
+		}
+	}
+
+	if fig == "all" {
+		for _, name := range []string{"fig2", "fig3", "fig4", "fig5", "fig11", "fig12",
+			"fig13", "fig14", "fig15", "fig16a", "fig16b", "fig16c", "fig17", "ablation", "ext-bf3", "ext-allgather"} {
+			run(name)
+		}
+		return
+	}
+	run(fig)
+	_ = bench.Options{} // keep import stable if figures change
+}
+
+// params resolves per-figure defaults vs the -full flag.
+type params struct {
+	ppn, iters, warmup int
+	full               bool
+	memGB, nb          int
+}
+
+// it picks the iteration count.
+func (p params) it(def int) int {
+	if p.iters > 0 {
+		return p.iters
+	}
+	if p.full {
+		return def * 3
+	}
+	return def
+}
+
+// a2aPPN is the PPN for alltoall microbenchmarks (paper: 32).
+func (p params) a2aPPN() int {
+	if p.ppn > 0 {
+		return p.ppn
+	}
+	if p.full {
+		return 32
+	}
+	return 8
+}
+
+// appPPN is the PPN for application runs (paper: 32).
+func (p params) appPPN() int {
+	if p.ppn > 0 {
+		return p.ppn
+	}
+	if p.full {
+		return 32
+	}
+	return 8
+}
+
+// hplPPN keeps HPL runs tractable by default. The broadcast-vs-update race
+// the paper studies needs enough ranks that the panel ring is comparable to
+// the local update; 16 PPN with 2 GB/node reproduces the shape in minutes.
+func (p params) hplPPN() int {
+	if p.ppn > 0 {
+		return p.ppn
+	}
+	if p.full {
+		return 32
+	}
+	return 16
+}
+
+// hplMemGB scales the HPL problem (paper: 256 GB/node).
+func (p params) hplMemGB() int {
+	if p.memGB > 0 {
+		return p.memGB
+	}
+	if p.full {
+		return 256
+	}
+	return 16
+}
+
+func (p params) a2aSizes() []int {
+	if p.full {
+		return []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	}
+	return []int{8 << 10, 32 << 10, 128 << 10}
+}
+
+func (p params) fig15Sizes() []int {
+	if p.full {
+		return []int{1 << 10, 4 << 10, 16 << 10, 64 << 10}
+	}
+	return []int{4 << 10, 16 << 10, 64 << 10}
+}
+
+func (p params) stencilProblems() []int {
+	if p.full {
+		return []int{512, 1024, 2048}
+	}
+	return []int{256, 512, 1024}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: offloadbench <figure> [flags]
+
+figures:
+  fig2     RDMA-write latency, host vs DPU posting
+  fig3     RDMA-write bandwidth, normalized
+  fig4     nonblocking pingpong, host vs staging offload
+  fig5     cross-GVMI registration overheads
+  fig11    3D stencil normalized overall time
+  fig12    3D stencil overlap %
+  fig13    Ialltoall overall time (4/8/16 nodes)
+  fig14    Ialltoall overlap %
+  fig15    scatter-destination: Simple vs Group primitives
+  fig16a   P3DFFT normalized runtime, 8 nodes
+  fig16b   P3DFFT normalized runtime, 16 nodes
+  fig16c   P3DFFT single-phase compute/MPI profile
+  fig17    HPL normalized runtime vs memory fraction (~15 min)
+  ablation design-choice ablations (caches, mechanism, proxies)
+  ext-bf3  future-work extension: BlueField-3 + NDR platform
+  ext-allgather  Iallgather (ref [9] workload) across schemes
+  all      everything above
+
+flags: -ppn N -iters N -warmup N -full -memgb N -nb N`)
+}

@@ -1,0 +1,99 @@
+// Command omb is an OSU-Micro-Benchmarks-style driver for the simulated
+// cluster — the measurement tool the paper's evaluation uses (ref [12]),
+// pointed at the simulated testbed instead of real hardware.
+//
+// Usage:
+//
+//	omb <benchmark> [flags]
+//
+// Benchmarks:
+//
+//	latency     pingpong one-way latency (verbs level, host- or DPU-posted)
+//	bw          streaming RDMA-write bandwidth
+//	pingpong    nonblocking two-way isend/irecv + waitall (Figure 4 shape)
+//	ialltoall   OMB NBC alltoall: pure, overall, overlap%
+//	iallgather  OMB NBC allgather
+//	ibcast      OMB NBC broadcast
+//
+// The -scheme flag selects Proposed / BluesMPI / IntelMPI for the NBC
+// benchmarks. All numbers are virtual time and deterministic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	var (
+		nodes  = fs.Int("nodes", 4, "nodes")
+		ppn    = fs.Int("ppn", 8, "processes per node")
+		scheme = fs.String("scheme", baseline.NameProposed, "Proposed | BluesMPI | IntelMPI")
+		minS   = fs.Int("min", 4<<10, "smallest message size")
+		maxS   = fs.Int("max", 512<<10, "largest message size")
+		warmup = fs.Int("warmup", 4, "warmup iterations")
+		iters  = fs.Int("iters", 3, "measured iterations")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	opt := bench.Options{Nodes: *nodes, PPN: *ppn, Scheme: *scheme}
+	sizes := bench.Pow2Sizes(*minS, *maxS)
+
+	nbc := func(measure func(bench.Options, int, int, int) bench.NBCResult, title string) {
+		fmt.Printf("# OMB %s, %d nodes x %d PPN, scheme=%s (virtual time)\n", title, *nodes, *ppn, *scheme)
+		fmt.Printf("%-10s %14s %14s %14s %9s\n", "size", "pure (us)", "compute (us)", "overall (us)", "overlap")
+		for _, size := range sizes {
+			r := measure(opt, size, *warmup, *iters)
+			fmt.Printf("%-10s %14.2f %14.2f %14.2f %8.1f%%\n",
+				bench.SizeLabel(size), r.PureComm.Micros(), r.Compute.Micros(), r.Overall.Micros(), r.Overlap)
+		}
+	}
+
+	switch name {
+	case "latency":
+		fmt.Println("# RDMA-write one-way latency (us): host-posted vs DPU-posted")
+		fmt.Printf("%-10s %12s %12s\n", "size", "host", "dpu")
+		for _, row := range bench.MeasureRDMALatency(bench.Pow2Sizes(2, 8<<10), *iters*5) {
+			fmt.Printf("%-10s %12.2f %12.2f\n", bench.SizeLabel(row.Size), row.HostHost.Micros(), row.HostDPU.Micros())
+		}
+	case "bw":
+		fmt.Println("# RDMA-write streaming bandwidth (GB/s): host-posted vs DPU-posted")
+		fmt.Printf("%-10s %12s %12s %12s\n", "size", "host", "dpu", "normalized")
+		for _, row := range bench.MeasureRDMABandwidth(bench.Pow2Sizes(2, 4<<20), 64, *iters) {
+			fmt.Printf("%-10s %12.2f %12.2f %12.2f\n", bench.SizeLabel(row.Size), row.HostHost, row.HostDPU, row.Normalized)
+		}
+	case "pingpong":
+		fmt.Printf("# Nonblocking pingpong (us), scheme=%s\n", *scheme)
+		fmt.Printf("%-10s %12s\n", "size", "latency")
+		for _, size := range sizes {
+			lat := bench.MeasurePingpongNB(bench.Options{Nodes: 2, PPN: 1, Scheme: *scheme}, size, *warmup, *iters)
+			fmt.Printf("%-10s %12.2f\n", bench.SizeLabel(size), lat.Micros())
+		}
+	case "ialltoall":
+		nbc(bench.MeasureIalltoall, "Ialltoall")
+	case "iallgather":
+		nbc(bench.MeasureIallgather, "Iallgather")
+	case "ibcast":
+		nbc(bench.MeasureIbcast, "Ibcast")
+	default:
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: omb <latency|bw|pingpong|ialltoall|iallgather|ibcast> [flags]
+flags: -nodes N -ppn N -scheme Proposed|BluesMPI|IntelMPI -min B -max B -warmup N -iters N`)
+}

@@ -1,0 +1,33 @@
+// Stencil runs the 3D near-neighbour halo-exchange benchmark (Section
+// VIII-A) with host MPI versus the Basic-primitive offload and prints the
+// overall time and achieved overlap for a sweep of problem sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/stencil"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "nodes")
+	ppn := flag.Int("ppn", 8, "processes per node")
+	iters := flag.Int("iters", 3, "iterations")
+	flag.Parse()
+
+	g := stencil.Decompose3(*nodes * *ppn)
+	fmt.Printf("3D stencil, %d nodes x %d PPN, process grid %dx%dx%d\n",
+		*nodes, *ppn, g.PX, g.PY, g.PZ)
+	fmt.Printf("%-10s  %-10s  %12s  %12s  %9s\n", "problem", "scheme", "pure (us)", "overall (us)", "overlap")
+	for _, n := range []int{256, 512, 1024} {
+		for _, scheme := range []string{baseline.NameIntelMPI, baseline.NameProposed} {
+			res := stencil.Run(bench.Options{Nodes: *nodes, PPN: *ppn, Scheme: scheme}, n, 1, *iters)
+			fmt.Printf("%-10s  %-10s  %12.2f  %12.2f  %8.1f%%\n",
+				fmt.Sprintf("%d^3", n), scheme, res.Pure.Micros(), res.Overall.Micros(), res.Overlap)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,57 @@
+// Package baseline configures the comparison systems of the paper's
+// evaluation:
+//
+//   - BluesMPI (refs [8],[9]): a DPU offload MPI that stages data through
+//     DPU memory, exchanges metadata on every call (no group-request cache),
+//     and shows degraded performance on the first iterations of a new
+//     request — the warm-up effect Section VIII-D diagnoses;
+//   - IntelMPI: host-based nonblocking collectives with progress only
+//     inside MPI calls (package mpi is exactly that model, so IntelMPI
+//     needs no framework at all).
+//
+// Both are expressed as core.Config presets so that micro-benchmarks and
+// applications compare mechanisms under an otherwise identical substrate.
+package baseline
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Scheme names used throughout benches and reports.
+const (
+	NameProposed = "Proposed"
+	NameBluesMPI = "BluesMPI"
+	NameIntelMPI = "IntelMPI"
+)
+
+// ProposedConfig is the paper's design: cross-GVMI transfers with all
+// caches enabled.
+func ProposedConfig() core.Config {
+	return core.DefaultConfig()
+}
+
+// BluesMPIConfig models the staging-based state of the art: data bounces
+// through DPU memory, request metadata is re-exchanged on every collective
+// call, and each new request pays a first-use warm-up penalty.
+func BluesMPIConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Mechanism = core.MechStaging
+	cfg.GroupCache = false
+	// Calibrated so that, with no warm-up iterations (application level),
+	// BluesMPI lands ~1.4x IntelMPI on the P3DFFT runs — the degradation
+	// the paper measured but could not attribute (Section VIII-D). OMB-style
+	// benchmarks hide it behind >= WarmupCalls warm-up iterations, exactly
+	// as the paper describes.
+	cfg.WarmupPerOp = 150 * sim.Microsecond
+	cfg.WarmupCalls = 4
+	return cfg
+}
+
+// StagingNoWarmupConfig isolates the staging mechanism itself (used by the
+// Figure 4 pingpong comparison and mechanism ablations).
+func StagingNoWarmupConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Mechanism = core.MechStaging
+	return cfg
+}

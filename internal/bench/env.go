@@ -1,0 +1,110 @@
+// Package bench assembles benchmark environments (cluster + MPI world +
+// offload framework per scheme) and implements the OMB-style measurement
+// loops used to regenerate every figure of the paper's evaluation.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/coll"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// Options describe one benchmark environment.
+type Options struct {
+	Nodes         int
+	PPN           int
+	Scheme        string          // baseline.NameProposed / NameBluesMPI / NameIntelMPI
+	Backed        bool            // payload-backed buffers (correctness runs)
+	ProxiesPerDPU int             // 0 = cluster default
+	Cluster       *cluster.Config // full override (optional)
+	Core          *core.Config    // framework override (optional)
+}
+
+// Env is a ready-to-launch benchmark environment.
+type Env struct {
+	Opt Options
+	Cl  *cluster.Cluster
+	W   *mpi.World
+	Fw  *core.Framework // nil for host-only schemes
+}
+
+// needsFramework reports whether the scheme runs on DPU proxies.
+func needsFramework(scheme string) bool {
+	return scheme == baseline.NameProposed || scheme == baseline.NameBluesMPI
+}
+
+// Build constructs the environment.
+func Build(opt Options) *Env {
+	var ccfg cluster.Config
+	if opt.Cluster != nil {
+		ccfg = *opt.Cluster
+	} else {
+		ccfg = cluster.DefaultConfig(opt.Nodes, opt.PPN)
+	}
+	ccfg.BackedPayload = opt.Backed
+	if opt.ProxiesPerDPU > 0 {
+		ccfg.ProxiesPerDPU = opt.ProxiesPerDPU
+	}
+	cl := cluster.New(ccfg)
+	w := mpi.NewWorld(cl, mpi.DefaultConfig())
+	e := &Env{Opt: opt, Cl: cl, W: w}
+
+	if needsFramework(opt.Scheme) || opt.Core != nil {
+		var fcfg core.Config
+		switch {
+		case opt.Core != nil:
+			fcfg = *opt.Core
+		case opt.Scheme == baseline.NameBluesMPI:
+			fcfg = baseline.BluesMPIConfig()
+		default:
+			fcfg = baseline.ProposedConfig()
+		}
+		sites := make([]*cluster.Site, ccfg.NP())
+		for i := range sites {
+			sites[i] = w.Rank(i).Site()
+		}
+		e.Fw = core.New(cl, fcfg, sites)
+		e.Fw.Start()
+	}
+	return e
+}
+
+// Launch spawns all ranks running fn with the scheme's collective and
+// point-to-point backends bound, then runs the simulation to completion.
+// It returns the final virtual time and panics on deadlock (a bug).
+func (e *Env) Launch(fn func(r *mpi.Rank, ops coll.Ops, p2p coll.P2P)) sim.Time {
+	e.W.Launch(func(r *mpi.Rank) {
+		var ops coll.Ops
+		var p2p coll.P2P
+		if e.Fw != nil {
+			h := e.Fw.Host(r.RankID())
+			h.Bind(r.Proc())
+			ops = coll.NewOffloadOps(e.Opt.Scheme, r, h)
+			p2p = coll.NewOffloadP2P(e.Opt.Scheme, r, h)
+		} else {
+			ops = coll.NewHostOps(e.Opt.Scheme, r)
+			p2p = coll.NewHostP2P(e.Opt.Scheme, r)
+		}
+		fn(r, ops, p2p)
+	})
+	end := e.Cl.K.Run()
+	if len(e.Cl.K.Deadlocked) > 0 {
+		var names []string
+		for _, p := range e.Cl.K.Deadlocked {
+			names = append(names, p.Name())
+		}
+		panic(fmt.Sprintf("bench: deadlocked processes: %v", names))
+	}
+	// Shut the proxy daemons down so this environment can be collected
+	// (benchmark sweeps build many environments in one process).
+	if e.Fw != nil {
+		e.Fw.Stop()
+		e.Cl.K.Run()
+	}
+	return end
+}

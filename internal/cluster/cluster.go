@@ -1,0 +1,177 @@
+// Package cluster assembles the simulated testbed: nodes that each carry a
+// host HCA port, a BlueField DPU port, per-process address spaces and verbs
+// contexts, plus the shared verbs key registry and GVMI manager.
+//
+// The default configuration mirrors the paper's platform: dual-socket Xeon
+// hosts, one ConnectX-class HCA and one BlueField-2 per node, HDR InfiniBand.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/gvmi"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/verbs"
+)
+
+// Config describes one simulated cluster.
+type Config struct {
+	Nodes         int
+	PPN           int // host processes per node
+	ProxiesPerDPU int // worker processes on each BlueField
+
+	Fabric   fabric.Config
+	HostPort fabric.Params
+	DPUPort  fabric.Params
+	Verbs    verbs.CostConfig
+	GVMI     gvmi.CostConfig
+
+	// BackedPayload allocates real bytes in every buffer so data integrity
+	// can be verified. Figure-scale runs switch it off; virtual-time results
+	// are unaffected (costs depend only on sizes).
+	BackedPayload bool
+
+	// HostCopyGBps is the single-core memcpy bandwidth used for intra-node
+	// (shared-memory) MPI transfers, in bytes/ns.
+	HostCopyGBps float64
+	// ShmLatency is the intra-node delivery latency for shared-memory
+	// messages.
+	ShmLatency sim.Time
+}
+
+// DefaultConfig returns the standard testbed with the given shape.
+func DefaultConfig(nodes, ppn int) Config {
+	return Config{
+		Nodes:         nodes,
+		PPN:           ppn,
+		ProxiesPerDPU: 8,
+		Fabric:        fabric.DefaultConfig(),
+		HostPort:      fabric.HostPortParams,
+		DPUPort:       fabric.DPUPortParams,
+		Verbs:         verbs.DefaultCosts(),
+		GVMI:          gvmi.DefaultCosts(),
+		BackedPayload: true,
+		HostCopyGBps:  6.0,
+		ShmLatency:    200 * sim.Nanosecond,
+	}
+}
+
+// BlueField3Config is the future-work platform of Section X: BlueField-3
+// SmartNICs (faster ARM cores) on an NDR InfiniBand fabric.
+func BlueField3Config(nodes, ppn int) Config {
+	cfg := DefaultConfig(nodes, ppn)
+	cfg.Fabric = fabric.NDRConfig()
+	cfg.HostPort = fabric.HostPortParamsNDR
+	cfg.DPUPort = fabric.DPUPortParamsBF3
+	return cfg
+}
+
+// NP returns the total number of host processes.
+func (c Config) NP() int { return c.Nodes * c.PPN }
+
+// Node is one machine: a host port shared by its PPN host processes and a
+// DPU port shared by its proxies.
+type Node struct {
+	ID     int
+	HostEP *fabric.Endpoint
+	DPUEP  *fabric.Endpoint
+}
+
+// Site is the hardware attachment point of one simulated process: its
+// address space and verbs context. A process may open extra contexts (e.g.
+// one for MPI and one for the offload library) via NewCtx; they share the
+// same endpoint and space.
+type Site struct {
+	Node  *Node
+	Space *mem.Space
+	Ctx   *verbs.Ctx
+	OnDPU bool
+}
+
+// NewCtx opens an additional verbs context on the same endpoint and space.
+func (s *Site) NewCtx(name string) *verbs.Ctx {
+	ep := s.Node.HostEP
+	if s.OnDPU {
+		ep = s.Node.DPUEP
+	}
+	return s.Ctx.Registry().NewCtx(name, s.Space, ep)
+}
+
+// Cluster is the assembled testbed.
+type Cluster struct {
+	Cfg  Config
+	K    *sim.Kernel
+	F    *fabric.Fabric
+	Reg  *verbs.Registry
+	GVMI *gvmi.Manager
+
+	// Trace, when set (cl.Trace = trace.New(0)), records protocol events
+	// from the offload framework — the Figure 1 timeline as data.
+	Trace *trace.Log
+
+	Nodes []*Node
+}
+
+// New builds a cluster on a fresh kernel.
+func New(cfg Config) *Cluster {
+	k := sim.NewKernel()
+	f := fabric.New(k, cfg.Fabric)
+	reg := verbs.NewRegistry(f, cfg.Verbs)
+	c := &Cluster{
+		Cfg:  cfg,
+		K:    k,
+		F:    f,
+		Reg:  reg,
+		GVMI: gvmi.NewManager(reg, cfg.GVMI),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.Nodes = append(c.Nodes, &Node{
+			ID:     i,
+			HostEP: f.NewEndpoint(fmt.Sprintf("n%d.host", i), i, cfg.HostPort),
+			DPUEP:  f.NewEndpoint(fmt.Sprintf("n%d.dpu", i), i, cfg.DPUPort),
+		})
+	}
+	return c
+}
+
+// NewHostSite creates the attachment point for a host process on a node.
+func (c *Cluster) NewHostSite(node int, name string) *Site {
+	n := c.Nodes[node]
+	sp := mem.NewSpace(name)
+	return &Site{Node: n, Space: sp, Ctx: c.Reg.NewCtx(name, sp, n.HostEP)}
+}
+
+// NewDPUSite creates the attachment point for a proxy process on a node's
+// BlueField.
+func (c *Cluster) NewDPUSite(node int, name string) *Site {
+	n := c.Nodes[node]
+	sp := mem.NewSpace(name)
+	return &Site{Node: n, Space: sp, Ctx: c.Reg.NewCtx(name, sp, n.DPUEP), OnDPU: true}
+}
+
+// NodeOfRank maps a host rank to its node under block distribution
+// (ranks 0..PPN-1 on node 0, and so on), matching typical -ppn launches.
+func (c *Cluster) NodeOfRank(rank int) int { return rank / c.Cfg.PPN }
+
+// LocalRank returns the node-local index of a host rank.
+func (c *Cluster) LocalRank(rank int) int { return rank % c.Cfg.PPN }
+
+// ProxyOfRank maps a host rank to the node-local proxy index that serves it:
+// proxy_local_rank = host_source_rank % num_proxies_per_dpu (Section VII-A).
+func (c *Cluster) ProxyOfRank(rank int) int {
+	return c.LocalRank(rank) % c.Cfg.ProxiesPerDPU
+}
+
+// SameNode reports whether two host ranks share a node.
+func (c *Cluster) SameNode(a, b int) bool { return c.NodeOfRank(a) == c.NodeOfRank(b) }
+
+// CopyCost returns the CPU time for one core to copy n bytes.
+func (c *Cluster) CopyCost(n int) sim.Time {
+	if c.Cfg.HostCopyGBps <= 0 {
+		return 0
+	}
+	return sim.Time(float64(n) / c.Cfg.HostCopyGBps)
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTopologyMapping(t *testing.T) {
+	c := New(DefaultConfig(4, 32))
+	if got := c.Cfg.NP(); got != 128 {
+		t.Fatalf("NP = %d, want 128", got)
+	}
+	if c.NodeOfRank(0) != 0 || c.NodeOfRank(31) != 0 || c.NodeOfRank(32) != 1 || c.NodeOfRank(127) != 3 {
+		t.Fatal("block rank->node mapping wrong")
+	}
+	if c.LocalRank(33) != 1 {
+		t.Fatalf("LocalRank(33) = %d, want 1", c.LocalRank(33))
+	}
+	if !c.SameNode(0, 31) || c.SameNode(31, 32) {
+		t.Fatal("SameNode wrong")
+	}
+}
+
+func TestProxyMapping(t *testing.T) {
+	cfg := DefaultConfig(2, 32)
+	cfg.ProxiesPerDPU = 8
+	c := New(cfg)
+	// proxy_local_rank = local_rank % proxies_per_dpu (Section VII-A).
+	if c.ProxyOfRank(0) != 0 || c.ProxyOfRank(8) != 0 || c.ProxyOfRank(9) != 1 || c.ProxyOfRank(39) != 7 {
+		t.Fatal("proxy mapping wrong")
+	}
+}
+
+func TestSitesSeparateSpacesSharedEndpoints(t *testing.T) {
+	c := New(DefaultConfig(2, 2))
+	a := c.NewHostSite(0, "a")
+	b := c.NewHostSite(0, "b")
+	d := c.NewDPUSite(0, "d")
+	if a.Space == b.Space {
+		t.Fatal("host sites share a space")
+	}
+	if a.Ctx.Endpoint() != b.Ctx.Endpoint() {
+		t.Fatal("host sites on one node must share the host port")
+	}
+	if d.Ctx.Endpoint() == a.Ctx.Endpoint() {
+		t.Fatal("DPU site must use the DPU port")
+	}
+	if !d.OnDPU || a.OnDPU {
+		t.Fatal("OnDPU flags wrong")
+	}
+}
+
+func TestSiteNewCtxSharesEndpointAndSpace(t *testing.T) {
+	c := New(DefaultConfig(1, 1))
+	s := c.NewHostSite(0, "h")
+	ctx2 := s.NewCtx("offload")
+	if ctx2.Endpoint() != s.Ctx.Endpoint() || ctx2.Space() != s.Ctx.Space() {
+		t.Fatal("NewCtx must share endpoint and space")
+	}
+	if ctx2 == s.Ctx {
+		t.Fatal("NewCtx returned the same context")
+	}
+}
+
+func TestCopyCost(t *testing.T) {
+	c := New(DefaultConfig(1, 1))
+	if got := c.CopyCost(6000); got != sim.Time(1000) {
+		t.Fatalf("CopyCost(6000) = %v, want 1000ns at 6 GB/s", got)
+	}
+	cfg := DefaultConfig(1, 1)
+	cfg.HostCopyGBps = 0
+	if got := New(cfg).CopyCost(1 << 20); got != 0 {
+		t.Fatalf("zero-rate CopyCost = %v", got)
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig(8, 32)
+	if cfg.ProxiesPerDPU <= 0 || cfg.HostCopyGBps <= 0 || cfg.ShmLatency <= 0 {
+		t.Fatalf("bad defaults: %+v", cfg)
+	}
+	if cfg.DPUPort.Overhead <= cfg.HostPort.Overhead {
+		t.Fatal("DPU port must have higher per-message overhead than host port")
+	}
+}
+
+func TestBlueField3ConfigFaster(t *testing.T) {
+	bf2 := DefaultConfig(2, 2)
+	bf3 := BlueField3Config(2, 2)
+	if bf3.DPUPort.Overhead >= bf2.DPUPort.Overhead {
+		t.Fatal("BF3 ARM posting must be faster than BF2")
+	}
+	if bf3.HostPort.GBps <= bf2.HostPort.GBps {
+		t.Fatal("NDR must be faster than HDR")
+	}
+	if bf3.Fabric.LoopbackGBps <= bf2.Fabric.LoopbackGBps {
+		t.Fatal("Gen5 loopback must be faster")
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gvmi"
+	"repro/internal/mem"
+	"repro/internal/verbs"
+)
+
+// GroupRequest records a complete communication pattern — sends, receives
+// and local ordering barriers — for offload as a single unit (the Group
+// Primitives of Section VI-B). Typical use, mirroring Listing 5's ring
+// broadcast:
+//
+//	g := h.GroupStart()
+//	if rank == 0 {
+//	    g.Send(buf, size, right, tag)
+//	    g.LocalBarrier()
+//	} else {
+//	    g.Recv(buf, size, left, tag)
+//	    g.LocalBarrier()
+//	    g.Send(buf, size, right, tag)
+//	}
+//	g.End()
+//	h.GroupCall(g)   // offload the whole graph to the DPU
+//	compute()        // overlap: the DPU progresses the ring
+//	h.GroupWait(g)
+//
+// A request may be re-called; with the group cache enabled (Section VII-D)
+// replays send only the request ID to the proxy.
+type GroupRequest struct {
+	h     *Host
+	id    int
+	ops   []GroupOp
+	ended bool
+
+	callSeq     int // GroupCall invocations
+	doneSeq     int // completed calls (proxy's completion updates)
+	sentToProxy bool
+}
+
+// GroupOp is one recorded entry.
+type GroupOp struct {
+	Type OpType
+	Addr mem.Addr
+	Size int
+	Peer int // destination (send) or source (recv)
+	Tag  int
+}
+
+// GroupStart begins recording a new pattern (Group_Offload_start).
+func (h *Host) GroupStart() *GroupRequest {
+	g := &GroupRequest{h: h, id: h.nextGroup}
+	h.nextGroup++
+	h.groups[g.id] = g
+	return g
+}
+
+// Done reports whether all issued calls of this request have completed.
+func (g *GroupRequest) Done() bool { return g.doneSeq >= g.callSeq }
+
+// Send records an offloaded send (Send_Goffload).
+func (g *GroupRequest) Send(addr mem.Addr, size, dst, tag int) {
+	g.record(GroupOp{Type: OpSend, Addr: addr, Size: size, Peer: dst, Tag: tag})
+}
+
+// Recv records an offloaded receive (Recv_Goffload).
+func (g *GroupRequest) Recv(addr mem.Addr, size, src, tag int) {
+	g.record(GroupOp{Type: OpRecv, Addr: addr, Size: size, Peer: src, Tag: tag})
+}
+
+// LocalBarrier records an ordering point (Local_barrier_Goffload): entries
+// after it start only when every earlier entry — including receives
+// performed by remote proxies — has completed. This is the primitive MPI
+// cannot express without blocking the CPU.
+func (g *GroupRequest) LocalBarrier() {
+	g.record(GroupOp{Type: OpBarrier})
+}
+
+func (g *GroupRequest) record(op GroupOp) {
+	if g.ended {
+		panic("core: group request already ended")
+	}
+	g.ops = append(g.ops, op)
+}
+
+// End finishes recording (Group_Offload_end).
+func (g *GroupRequest) End() {
+	g.ended = true
+}
+
+// Ops returns the recorded entries (for inspection).
+func (g *GroupRequest) Ops() []GroupOp { return g.ops }
+
+// GroupCall offloads the recorded pattern to the host's proxy
+// (Group_Offload_call, Figure 9). On the first call (or with the group
+// cache disabled) it registers all buffers, gathers matching receive-entry
+// metadata from the destination hosts, and ships the entire Group_op queue
+// as one contiguous packet; replays send only the request ID.
+func (h *Host) GroupCall(g *GroupRequest) {
+	if !g.ended {
+		panic("core: GroupCall before Group_Offload_end")
+	}
+	t0 := h.proc.Now()
+	defer func() { h.OffloadTime += h.proc.Now() - t0 }()
+	g.callSeq++
+	px := h.fw.proxyFor(h.rank)
+
+	if h.fw.cfg.GroupCache && g.sentToProxy {
+		// Host-side cache hit: "the host sends the request ID to the DPU".
+		h.ctx.PostSend(h.proc, px.ctx, &verbs.Packet{
+			Kind: "greplay", Size: h.fw.cfg.CtrlSize,
+			Payload: &greplayMsg{HostRank: h.rank, GroupID: g.id, CallSeq: g.callSeq},
+		})
+		if tr := h.fw.cl.Trace; tr.Enabled() {
+			tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "Group_Offload_call",
+				fmt.Sprintf("replay id=%d call=%d", g.id, g.callSeq))
+		}
+		return
+	}
+
+	// 1. Register buffers: send buffers through the GVMI cache (or IB cache
+	//    for the staging mechanism), receive buffers through the IB cache —
+	//    and push each receive entry's metadata to its source host.
+	type sendReg struct {
+		mkey gvmi.MKeyInfo
+		rkey verbs.Key
+	}
+	sendRegs := make(map[int]sendReg) // op index -> registration
+	for i, op := range g.ops {
+		switch op.Type {
+		case OpSend:
+			var sr sendReg
+			if h.fw.cfg.Mechanism == MechGVMI {
+				sr.mkey = h.gvmiRegister(px, op.Addr, op.Size)
+			} else {
+				sr.rkey = h.ibRegister(op.Addr, op.Size).RKey()
+			}
+			sendRegs[i] = sr
+		case OpRecv:
+			mr := h.ibRegister(op.Addr, op.Size)
+			peer := h.fw.hosts[op.Peer]
+			h.ctx.PostSend(h.proc, peer.ctx, &verbs.Packet{
+				Kind: "gmeta", Size: h.fw.cfg.CtrlSize,
+				Payload: &gmetaMsg{
+					DstRank: h.rank, Tag: op.Tag, Size: op.Size,
+					DstAddr: op.Addr, RKey: mr.RKey(), DstGroup: g.id,
+				},
+			})
+		}
+	}
+
+	// 2. Build wire entries; each send is matched with the corresponding
+	//    receive entry gathered from its destination (rank/tag matching).
+	entries := make([]wireOp, len(g.ops))
+	for i, op := range g.ops {
+		w := wireOp{Type: op.Type, Size: op.Size, Tag: op.Tag}
+		switch op.Type {
+		case OpSend:
+			w.SrcAddr, w.Dst = op.Addr, op.Peer
+			w.MKey = sendRegs[i].mkey
+			w.SrcRKey = sendRegs[i].rkey
+			meta := h.awaitGmeta(op.Peer, op.Tag)
+			if meta.Size != op.Size {
+				panic(fmt.Sprintf("core: group size mismatch: send %d vs recv %d", op.Size, meta.Size))
+			}
+			w.DstAddr, w.DstRKey, w.DstGroup = meta.DstAddr, meta.RKey, meta.DstGroup
+		case OpRecv:
+			w.Src = op.Peer
+		}
+		entries[i] = w
+	}
+
+	// 3. One contiguous Group_Offload_packet to the proxy.
+	h.ctx.PostSend(h.proc, px.ctx, &verbs.Packet{
+		Kind: "group",
+		Size: h.fw.cfg.CtrlSize + len(entries)*h.fw.cfg.GroupOpWireSize,
+		Payload: &groupPacket{
+			HostRank: h.rank, GroupID: g.id, CallSeq: g.callSeq, Entries: entries,
+		},
+	})
+	g.sentToProxy = true
+	if tr := h.fw.cl.Trace; tr.Enabled() {
+		tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "Group_Offload_call",
+			fmt.Sprintf("full id=%d entries=%d", g.id, len(entries)))
+	}
+}
+
+// awaitGmeta blocks until receive-entry metadata from dst with the given
+// tag has been gathered (FIFO per (dst, tag) pair).
+func (h *Host) awaitGmeta(dst, tag int) *gmetaMsg {
+	for {
+		for i, m := range h.gmetaQ {
+			if m.DstRank == dst && m.Tag == tag {
+				h.gmetaQ = append(h.gmetaQ[:i], h.gmetaQ[i+1:]...)
+				return m
+			}
+		}
+		h.drainInbox()
+		found := false
+		for _, m := range h.gmetaQ {
+			if m.DstRank == dst && m.Tag == tag {
+				found = true
+				break
+			}
+		}
+		if !found && h.ctx.InboxLen() == 0 {
+			h.ctx.InboxCond.Wait(h.proc)
+		}
+	}
+}
+
+// GroupWait blocks until every issued GroupCall of g has completed
+// (Group_Wait): the host waits for the completion counter its proxy updates
+// after the whole pattern has executed on the DPU.
+func (h *Host) GroupWait(g *GroupRequest) {
+	h.waitFor(func() bool { return g.doneSeq >= g.callSeq })
+	if tr := h.fw.cl.Trace; tr.Enabled() {
+		tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "Group_Wait",
+			fmt.Sprintf("id=%d call=%d", g.id, g.callSeq))
+	}
+}
+
+// GroupTest polls for completion without blocking.
+func (h *Host) GroupTest(g *GroupRequest) bool {
+	h.drainInbox()
+	return g.doneSeq >= g.callSeq
+}

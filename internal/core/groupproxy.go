@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// proxyGroup is the DPU-side state of one offloaded group request — the
+// entry of the paper's DPU group cache ("indexed by the host's request ID
+// and rank", Section VII-D).
+type proxyGroup struct {
+	host    int
+	id      int
+	entries []wireOp
+
+	callSeq     int // latest call requested by the host
+	finishedSeq int // calls fully executed
+	running     bool
+	idx         int // next entry to process in the running call
+	pending     int // RDMA writes posted but not yet completed
+	numBarriers int
+
+	// expected counts, per source host, of deliveries required so far
+	// (cumulative across calls); compared against the proxy's delivery
+	// counters — the barrier-counter mechanism of Section VII-C.
+	expected map[int]int
+
+	// cachedMRs memoizes cross-registrations per entry so replays skip even
+	// the cache lookup ("the group entry queue also contains the GVMI
+	// registration cache entry").
+	cachedMRs []*verbs.MR
+}
+
+// installGroup handles a full Group_Offload_packet.
+func (px *Proxy) installGroup(m *groupPacket) {
+	px.GroupMiss++
+	k := groupKey{m.HostRank, m.GroupID}
+	g := px.groups[k]
+	if g == nil {
+		g = &proxyGroup{host: m.HostRank, id: m.GroupID, expected: make(map[int]int)}
+		px.groups[k] = g
+		px.groupList = append(px.groupList, g)
+	}
+	g.entries = m.Entries
+	g.cachedMRs = make([]*verbs.MR, len(m.Entries))
+	if m.CallSeq > g.callSeq {
+		g.callSeq = m.CallSeq
+	}
+}
+
+// replayGroup handles a cache-hit replay: only the request ID travelled.
+func (px *Proxy) replayGroup(m *greplayMsg) {
+	g := px.groups[groupKey{m.HostRank, m.GroupID}]
+	if g == nil {
+		panic(fmt.Sprintf("core: proxy %d: replay of unknown group %d/%d", px.global, m.HostRank, m.GroupID))
+	}
+	px.GroupHits++
+	if m.CallSeq > g.callSeq {
+		g.callSeq = m.CallSeq
+	}
+}
+
+// activeGroups returns groups that can make progress, in install order
+// (deterministic).
+func (px *Proxy) activeGroups() []*proxyGroup {
+	var out []*proxyGroup
+	for _, g := range px.groupList {
+		if g.running || g.finishedSeq < g.callSeq {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// recvsSatisfied checks the delivery counters against the group's expected
+// receive counts (isRecvBarrierDone of Algorithm 1).
+func (px *Proxy) recvsSatisfied(g *proxyGroup) bool {
+	for src, n := range g.expected {
+		if px.deliveries[deliveryKey{g.host, g.id, src}] < n {
+			return false
+		}
+	}
+	return true
+}
+
+// advanceGroup is the proxy-side engine of Algorithm 1: it walks the entry
+// queue, posting sends, accounting receives, and blocking at barriers until
+// preceding sends have completed locally and expected deliveries have
+// arrived. When it cannot proceed it returns to the progress engine rather
+// than spinning — the deadlock-avoidance requirement called out in the
+// paper (one proxy may serve both ends of a dependency).
+func (px *Proxy) advanceGroup(g *proxyGroup) bool {
+	progressed := false
+	if !g.running {
+		if g.finishedSeq >= g.callSeq {
+			return false
+		}
+		g.running = true
+		g.idx = 0
+		if px.fw.cfg.WarmupPerOp > 0 && g.finishedSeq < px.fw.cfg.WarmupCalls {
+			// First-iterations setup penalty (staging-buffer and queue
+			// setup per peer in the modelled baseline).
+			px.proc.AdvanceBusy(px.fw.cfg.WarmupPerOp * sim.Time(len(g.entries)))
+		}
+		progressed = true
+	}
+
+	for g.idx < len(g.entries) {
+		e := &g.entries[g.idx]
+		switch e.Type {
+		case OpSend:
+			px.postGroupSend(g, g.idx)
+			g.idx++
+			progressed = true
+		case OpRecv:
+			g.expected[e.Src]++
+			g.idx++
+			progressed = true
+		case OpBarrier:
+			// "After all the preceding sends are completed ..." — and all
+			// receives recorded so far must have been delivered by the
+			// remote proxies.
+			if g.pending > 0 || !px.recvsSatisfied(g) {
+				return progressed
+			}
+			g.numBarriers++
+			g.idx++
+			progressed = true
+		}
+	}
+
+	// End of the entry queue: the call completes when every posted write
+	// has finished and every expected delivery has arrived.
+	if g.pending > 0 || !px.recvsSatisfied(g) {
+		return progressed
+	}
+	g.running = false
+	g.finishedSeq++
+	// Completion-counter update to the host (the paper RDMA-writes a
+	// pre-registered counter; a minimal control packet has the same cost).
+	h := px.fw.hosts[g.host]
+	px.ctx.PostSend(px.proc, h.ctx, &verbs.Packet{
+		Kind: "gdone", Size: px.fw.cfg.CtrlSize,
+		Payload: &gdoneMsg{GroupID: g.id, CallSeq: g.finishedSeq},
+	})
+	return true
+}
+
+// postGroupSend issues the RDMA for one send entry using the configured
+// mechanism, and notifies the destination's proxy on completion.
+func (px *Proxy) postGroupSend(g *proxyGroup, idx int) {
+	e := &g.entries[idx]
+	notify := func() {
+		g.pending--
+		dst := px.fw.proxyFor(e.Dst)
+		px.ctx.PostSend(px.proc, dst.ctx, &verbs.Packet{
+			Kind: "dlv", Size: px.fw.cfg.CtrlSize,
+			Payload: &dlvMsg{SrcHost: g.host, DstHost: e.Dst, DstGroup: e.DstGroup},
+		})
+	}
+
+	g.pending++
+	if tr := px.fw.cl.Trace; tr.Enabled() {
+		tr.Add(px.proc.Now(), fmt.Sprintf("proxy%d", px.global), "group-send",
+			fmt.Sprintf("host%d->%d size=%d", g.host, e.Dst, e.Size))
+	}
+	if px.fw.cfg.Mechanism == MechGVMI {
+		mkey2 := g.cachedMRs[idx]
+		if mkey2 == nil {
+			mkey2 = px.crossReg(g.host, e.MKey)
+			if px.fw.cfg.GroupCache {
+				g.cachedMRs[idx] = mkey2
+			}
+		}
+		px.RDMAWrites++
+		err := px.ctx.PostWrite(px.proc, verbs.WriteOp{
+			LocalKey: mkey2.LKey(), LocalAddr: e.SrcAddr,
+			RemoteKey: e.DstRKey, RemoteAddr: e.DstAddr,
+			Size:             e.Size,
+			OnRemoteComplete: func(sim.Time) { px.later(notify) },
+		})
+		if err != nil {
+			panic(fmt.Sprintf("core: group GVMI write: %v", err))
+		}
+		return
+	}
+
+	// Staging mechanism: host -> DPU staging -> destination host.
+	sb := px.getStage(e.Size)
+	px.StagedOps++
+	px.RDMAReads++
+	err := px.ctx.PostRead(px.proc, verbs.ReadOp{
+		LocalKey: sb.mr.LKey(), LocalAddr: sb.buf.Addr(),
+		RemoteKey: e.SrcRKey, RemoteAddr: e.SrcAddr,
+		Size: e.Size,
+		OnComplete: func(sim.Time) {
+			px.later(func() {
+				px.RDMAWrites++
+				err := px.ctx.PostWrite(px.proc, verbs.WriteOp{
+					LocalKey: sb.mr.LKey(), LocalAddr: sb.buf.Addr(),
+					RemoteKey: e.DstRKey, RemoteAddr: e.DstAddr,
+					Size: e.Size,
+					OnRemoteComplete: func(sim.Time) {
+						px.later(func() {
+							px.putStage(sb)
+							notify()
+						})
+					},
+				})
+				if err != nil {
+					panic(fmt.Sprintf("core: group staged write: %v", err))
+				}
+			})
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: group staged read: %v", err))
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/gvmi"
+	"repro/internal/mem"
+	"repro/internal/regcache"
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// Host is the per-rank handle of the offload library. Bind it to the rank's
+// simulated process before calling any primitive; all methods must then be
+// called from that process.
+type Host struct {
+	fw   *Framework
+	rank int
+	site *cluster.Site
+	ctx  *verbs.Ctx
+	proc *sim.Proc
+
+	gvmiCache *regcache.Cache[gvmi.MKeyInfo] // first level: proxy global rank
+	ibCache   *regcache.Cache[*verbs.MR]
+
+	nextSeq   int64
+	reqs      map[int64]*OffloadRequest
+	gmetaQ    []*gmetaMsg
+	nextGroup int
+	groups    map[int]*GroupRequest
+
+	// OffloadTime accumulates virtual time spent inside blocking calls of
+	// this library (Wait/GroupWait/GroupCall).
+	OffloadTime sim.Time
+}
+
+// Bind attaches the handle to its process (call once, from the process).
+func (h *Host) Bind(p *sim.Proc) {
+	h.proc = p
+	if h.groups == nil {
+		h.groups = make(map[int]*GroupRequest)
+	}
+}
+
+// Rank returns the host rank.
+func (h *Host) Rank() int { return h.rank }
+
+// Proc returns the bound process.
+func (h *Host) Proc() *sim.Proc { return h.proc }
+
+// OffloadRequest identifies one basic-primitive transfer (Send_Offload /
+// Recv_Offload); pass it to Wait.
+type OffloadRequest struct {
+	h    *Host
+	id   int64
+	done bool
+}
+
+// Done reports completion without progressing.
+func (q *OffloadRequest) Done() bool { return q.done }
+
+func (h *Host) newReq() *OffloadRequest {
+	h.nextSeq++
+	id := int64(h.rank)<<32 | h.nextSeq
+	q := &OffloadRequest{h: h, id: id}
+	h.reqs[id] = q
+	return q
+}
+
+// gvmiRegister returns the MKeyInfo for a source buffer, through the GVMI
+// registration cache when enabled (keyed by the proxy's rank, per VII-B).
+func (h *Host) gvmiRegister(px *Proxy, addr mem.Addr, size int) gvmi.MKeyInfo {
+	create := func() gvmi.MKeyInfo {
+		info, err := h.fw.cl.GVMI.RegisterHost(h.proc, h.ctx, addr, size, px.gvmiID)
+		if err != nil {
+			panic(fmt.Sprintf("core: host GVMI registration: %v", err))
+		}
+		return info
+	}
+	if !h.fw.cfg.RegCaches {
+		return create()
+	}
+	info, _ := h.gvmiCache.GetOrCreate(px.global, addr, size, create)
+	return info
+}
+
+// ibRegister returns an MR for a local buffer through the IB registration
+// cache when enabled.
+func (h *Host) ibRegister(addr mem.Addr, size int) *verbs.MR {
+	create := func() *verbs.MR { return h.ctx.RegisterMR(h.proc, addr, size) }
+	if !h.fw.cfg.RegCaches {
+		return create()
+	}
+	mr, _ := h.ibCache.GetOrCreate(0, addr, size, create)
+	return mr
+}
+
+// SendOffload offloads a nonblocking send of [addr, addr+size) to rank dst
+// (Send_Offload): the host registers the source buffer for the chosen
+// mechanism and hands an RTS to its proxy; the proxy performs the transfer.
+func (h *Host) SendOffload(addr mem.Addr, size, dst, tag int) *OffloadRequest {
+	px := h.fw.proxyFor(h.rank)
+	req := h.newReq()
+	pay := &rtsMsg{Src: h.rank, Dst: dst, Tag: tag, Size: size, SrcReqID: req.id}
+	if h.fw.cfg.Mechanism == MechGVMI {
+		pay.MKey = h.gvmiRegister(px, addr, size)
+	} else {
+		mr := h.ibRegister(addr, size)
+		pay.SrcAddr, pay.SrcRKey = addr, mr.RKey()
+	}
+	h.ctx.PostSend(h.proc, px.ctx, &verbs.Packet{
+		Kind: "rts", Size: h.fw.cfg.CtrlSize + gvmi.WireSize, Payload: pay,
+	})
+	if tr := h.fw.cl.Trace; tr.Enabled() {
+		tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "Send_Offload",
+			fmt.Sprintf("dst=%d size=%d tag=%d", dst, size, tag))
+	}
+	return req
+}
+
+// RecvOffload offloads a nonblocking receive into [addr, addr+size) from
+// rank src (Recv_Offload): the destination buffer is IB-registered and an
+// RTR goes to the *sender's* proxy, which posts the RDMA write.
+func (h *Host) RecvOffload(addr mem.Addr, size, src, tag int) *OffloadRequest {
+	px := h.fw.proxyFor(src)
+	req := h.newReq()
+	mr := h.ibRegister(addr, size)
+	pay := &rtrMsg{Src: src, Dst: h.rank, Tag: tag, Size: size, DstReqID: req.id, DstAddr: addr, RKey: mr.RKey()}
+	h.ctx.PostSend(h.proc, px.ctx, &verbs.Packet{
+		Kind: "rtr", Size: h.fw.cfg.CtrlSize, Payload: pay,
+	})
+	if tr := h.fw.cl.Trace; tr.Enabled() {
+		tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "Recv_Offload",
+			fmt.Sprintf("src=%d size=%d tag=%d", src, size, tag))
+	}
+	return req
+}
+
+// drainInbox processes FIN / completion / gather traffic from proxies and
+// peer hosts.
+func (h *Host) drainInbox() bool {
+	pkts := h.ctx.PollInbox()
+	for _, pkt := range pkts {
+		switch m := pkt.Payload.(type) {
+		case *finMsg:
+			if q, ok := h.reqs[m.ReqID]; ok {
+				q.done = true
+				delete(h.reqs, m.ReqID)
+				if tr := h.fw.cl.Trace; tr.Enabled() {
+					tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "FIN",
+						fmt.Sprintf("req=%d", m.ReqID&0xffffffff))
+				}
+			}
+		case *gmetaMsg:
+			h.gmetaQ = append(h.gmetaQ, m)
+		case *gdoneMsg:
+			if g, ok := h.groups[m.GroupID]; ok && m.CallSeq > g.doneSeq {
+				g.doneSeq = m.CallSeq
+			}
+		default:
+			panic(fmt.Sprintf("core: host %d: unexpected packet %T", h.rank, pkt.Payload))
+		}
+	}
+	return len(pkts) > 0
+}
+
+// waitFor drains completions until pred holds.
+func (h *Host) waitFor(pred func() bool) {
+	t0 := h.proc.Now()
+	for {
+		h.drainInbox()
+		if pred() {
+			break
+		}
+		if h.ctx.InboxLen() == 0 {
+			h.ctx.InboxCond.Wait(h.proc)
+		}
+	}
+	h.OffloadTime += h.proc.Now() - t0
+}
+
+// Wait blocks until the basic-primitive request completes. The transfer
+// itself progresses on the DPU regardless; Wait only observes the FIN.
+func (h *Host) Wait(req *OffloadRequest) {
+	h.waitFor(func() bool { return req.done })
+}
+
+// WaitAll blocks until all given requests complete.
+func (h *Host) WaitAll(reqs ...*OffloadRequest) {
+	h.waitFor(func() bool {
+		for _, q := range reqs {
+			if !q.done {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestOffload polls for completion without blocking.
+func (h *Host) TestOffload(req *OffloadRequest) bool {
+	h.drainInbox()
+	return req.done
+}

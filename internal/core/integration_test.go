@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TestKitchenSink drives all three API families — basic primitives, group
+// requests with barriers, and one-sided window transfers — concurrently
+// through the same proxies, with replays, while every host also computes.
+// Everything must complete, byte-exact, without deadlock.
+func TestKitchenSink(t *testing.T) {
+	const (
+		nodes = 3
+		ppn   = 2
+		size  = 16 << 10
+		iters = 3
+	)
+	ccfg := cluster.DefaultConfig(nodes, ppn)
+	ccfg.ProxiesPerDPU = 2 // force proxy sharing
+	cl := cluster.New(ccfg)
+	np := ccfg.NP()
+	sites := make([]*cluster.Site, np)
+	for i := range sites {
+		sites[i] = cl.NewHostSite(cl.NodeOfRank(i), fmt.Sprintf("h%d", i))
+	}
+	fw := New(cl, DefaultConfig(), sites)
+	fw.Start()
+
+	windows := make([]Window, np)
+	ready := 0
+	var readyCond sim.Cond
+
+	for i := 0; i < np; i++ {
+		h := fw.Host(i)
+		cl.K.Spawn(fmt.Sprintf("h%d", i), func(p *sim.Proc) {
+			h.Bind(p)
+			me := h.Rank()
+			right := (me + 1) % np
+			left := (me - 1 + np) % np
+
+			// Buffers for each family.
+			basicS := sites[me].Space.Alloc(size, true)
+			basicR := sites[me].Space.Alloc(size, true)
+			ringB := sites[me].Space.Alloc(size, true)
+			win := sites[me].Space.Alloc(2*size, true)
+
+			windows[me] = h.ExposeWindow(win.Addr(), win.Size())
+			ready++
+			readyCond.Broadcast()
+			for ready < np {
+				readyCond.Wait(p)
+			}
+
+			// Group: ring broadcast rooted at 0 with barriers.
+			g := h.GroupStart()
+			if me == 0 {
+				g.Send(ringB.Addr(), size, right, 1)
+				g.LocalBarrier()
+			} else {
+				g.Recv(ringB.Addr(), size, left, 1)
+				g.LocalBarrier()
+				if right != 0 {
+					g.Send(ringB.Addr(), size, right, 1)
+				}
+			}
+			g.End()
+
+			for it := 0; it < iters; it++ {
+				if me == 0 {
+					for j := range ringB.Bytes() {
+						ringB.Bytes()[j] = byte(it*31 + j)
+					}
+				}
+				// Family 1: basic primitives, pairwise with the right peer.
+				for j := range basicS.Bytes() {
+					basicS.Bytes()[j] = byte(me + it + j)
+				}
+				sq := h.SendOffload(basicS.Addr(), size, right, 7)
+				rq := h.RecvOffload(basicR.Addr(), size, left, 7)
+
+				// Family 2: the ring group (replay after iteration 0).
+				h.GroupCall(g)
+
+				// Family 3: one-sided put into the right neighbour's window.
+				oq := h.PutOffload(windows[me], 0, windows[right], size, size)
+
+				p.AdvanceBusy(2 * sim.Millisecond) // everything overlaps this
+
+				h.WaitAll(sq, rq, oq)
+				h.GroupWait(g)
+
+				if !bytes.Equal(basicR.Bytes(), patternAt(left, it, size)) {
+					t.Errorf("it %d rank %d: basic payload wrong", it, me)
+					return
+				}
+				if me != 0 {
+					want := make([]byte, size)
+					for j := range want {
+						want[j] = byte(it*31 + j)
+					}
+					if !bytes.Equal(ringB.Bytes(), want) {
+						t.Errorf("it %d rank %d: ring payload wrong", it, me)
+						return
+					}
+				}
+			}
+		})
+	}
+	cl.K.Run()
+	if len(cl.K.Deadlocked) > 0 {
+		t.Fatalf("kitchen sink deadlocked (%d procs)", len(cl.K.Deadlocked))
+	}
+	s := fw.Stats()
+	if s.GroupHits == 0 || s.RDMAWrites == 0 {
+		t.Fatalf("suspicious stats: %v", s)
+	}
+}
+
+func patternAt(rank, it, size int) []byte {
+	b := make([]byte, size)
+	for j := range b {
+		b[j] = byte(rank + it + j)
+	}
+	return b
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"repro/internal/gvmi"
+	"repro/internal/mem"
+	"repro/internal/verbs"
+)
+
+// Control-message payloads exchanged between hosts and proxies. Their Size
+// fields on the wire are taken from Config (CtrlSize / GroupOpWireSize).
+
+// rtsMsg is the Ready-To-Send a source host sends to its proxy
+// (Send_Offload, Figure 7): source buffer metadata for the chosen mechanism.
+type rtsMsg struct {
+	Src, Dst, Tag int
+	Size          int
+	SrcReqID      int64
+	// GVMI mechanism: the host-registered mkey for cross-registration.
+	MKey gvmi.MKeyInfo
+	// Staging mechanism: plain IB rkey so the proxy can RDMA-read the
+	// source into DPU memory.
+	SrcAddr mem.Addr
+	SrcRKey verbs.Key
+}
+
+// rtrMsg is the Ready-To-Receive a destination host sends to the *sender's*
+// proxy (Recv_Offload): destination buffer address and rkey.
+type rtrMsg struct {
+	Src, Dst, Tag int
+	Size          int
+	DstReqID      int64
+	DstAddr       mem.Addr
+	RKey          verbs.Key
+}
+
+// finMsg completes one basic-primitive request on a host.
+type finMsg struct {
+	ReqID int64
+}
+
+// gmetaMsg is the receive-entry metadata a receiving host pushes to the
+// source host during the Group_Offload_call gather phase (Figure 9): the
+// sender needs the destination address/rkey to hand to its proxy, and the
+// receiver's group id so delivery notifications can be attributed exactly.
+type gmetaMsg struct {
+	DstRank  int
+	Tag      int
+	Size     int
+	DstAddr  mem.Addr
+	RKey     verbs.Key
+	DstGroup int
+}
+
+// OpType classifies group-primitive entries.
+type OpType int
+
+// Group operation types.
+const (
+	OpSend OpType = iota
+	OpRecv
+	OpBarrier
+)
+
+// wireOp is one Group_op entry as shipped in a Group_Offload_packet.
+type wireOp struct {
+	Type OpType
+	Size int
+	Tag  int
+
+	// Send entries.
+	SrcAddr  mem.Addr
+	Dst      int
+	MKey     gvmi.MKeyInfo // GVMI mechanism
+	SrcRKey  verbs.Key     // staging mechanism
+	DstAddr  mem.Addr      // matched receive-entry info
+	DstRKey  verbs.Key
+	DstGroup int
+
+	// Recv entries.
+	Src int
+}
+
+// groupPacket is the Group_Offload_packet: the entire recorded pattern,
+// sent as one contiguous message from host to proxy.
+type groupPacket struct {
+	HostRank int
+	GroupID  int
+	CallSeq  int
+	Entries  []wireOp
+}
+
+// greplayMsg replays a cached group request (Section VII-D): on a host-side
+// cache hit only the request ID travels to the DPU.
+type greplayMsg struct {
+	HostRank int
+	GroupID  int
+	CallSeq  int
+}
+
+// dlvMsg is the proxy-to-proxy delivery notification that implements the
+// barrier/receive-progress counters of Section VII-C: after a proxy
+// completes an RDMA write on behalf of srcHost, it bumps the counter at the
+// destination host's proxy. (The paper uses pre-registered RDMA counter
+// writes; a small control packet has the same wire cost in our model.)
+type dlvMsg struct {
+	SrcHost  int
+	DstHost  int
+	DstGroup int
+}
+
+// gdoneMsg is the completion-counter update written back to the host when
+// an entire group call has finished on the proxy.
+type gdoneMsg struct {
+	GroupID int
+	CallSeq int
+}

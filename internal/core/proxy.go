@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/gvmi"
+	"repro/internal/mem"
+	"repro/internal/regcache"
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// matchKey pairs RTS and RTR traffic: requests match on
+// (source rank, destination rank, tag), FIFO within a key.
+type matchKey struct{ src, dst, tag int }
+
+// groupKey identifies a group request on the proxy side: the paper's DPU
+// cache is "indexed by the host's request ID and rank".
+type groupKey struct{ host, id int }
+
+// deliveryKey attributes delivery counters exactly: destination host, its
+// group request, and the source host.
+type deliveryKey struct {
+	dstHost  int
+	dstGroup int
+	srcHost  int
+}
+
+// Proxy is a worker process on a BlueField DPU serving the host processes
+// mapped to it. Its progress engine runs as a dedicated daemon — the reason
+// offloaded patterns advance without host CPU intervention.
+type Proxy struct {
+	fw     *Framework
+	global int
+	node   int
+	local  int
+	site   *cluster.Site
+	ctx    *verbs.Ctx
+	proc   *sim.Proc
+	gvmiID gvmi.ID
+
+	crossCache *regcache.Cache[*verbs.MR] // first level: source host rank
+
+	sendQ    map[matchKey][]*rtsMsg
+	recvQ    map[matchKey][]*rtrMsg
+	combined []pairMsg // matched send/recv pairs awaiting transfer
+	deferred []func()  // actions queued by RDMA completions
+
+	groups     map[groupKey]*proxyGroup
+	groupList  []*proxyGroup // install order, for deterministic iteration
+	deliveries map[deliveryKey]int
+
+	stagePool map[int][]*stageBuf
+
+	// Stats
+	CtrlMsgs   int64
+	RDMAWrites int64
+	RDMAReads  int64
+	StagedOps  int64
+	GroupHits  int64
+	GroupMiss  int64
+}
+
+type pairMsg struct {
+	rts *rtsMsg
+	rtr *rtrMsg
+}
+
+type stageBuf struct {
+	buf *mem.Buffer
+	mr  *verbs.MR
+}
+
+func newProxy(fw *Framework, global, node, local int, site *cluster.Site) *Proxy {
+	return &Proxy{
+		fw:         fw,
+		global:     global,
+		node:       node,
+		local:      local,
+		site:       site,
+		ctx:        site.Ctx,
+		crossCache: regcache.New[*verbs.MR](fw.cl.Cfg.NP(), 0, func(mr *verbs.MR) { mr.Deregister() }),
+		sendQ:      make(map[matchKey][]*rtsMsg),
+		recvQ:      make(map[matchKey][]*rtrMsg),
+		groups:     make(map[groupKey]*proxyGroup),
+		deliveries: make(map[deliveryKey]int),
+		stagePool:  make(map[int][]*stageBuf),
+	}
+}
+
+// GlobalID returns the proxy's global index.
+func (px *Proxy) GlobalID() int { return px.global }
+
+// run is the proxy progress engine (Figure 8 / Algorithm 1): drain control
+// messages, fire matched transfers, resume blocked group schedules, repeat.
+func (px *Proxy) run(p *sim.Proc) {
+	px.proc = p
+	for !px.fw.stopped {
+		progressed := false
+		for _, pkt := range px.ctx.PollInbox() {
+			px.handle(pkt)
+			progressed = true
+		}
+		for len(px.deferred) > 0 {
+			fns := px.deferred
+			px.deferred = nil
+			for _, fn := range fns {
+				fn()
+			}
+			progressed = true
+		}
+		if len(px.combined) > 0 {
+			pairs := px.combined
+			px.combined = nil
+			for _, pr := range pairs {
+				px.transfer(pr)
+			}
+			progressed = true
+		}
+		for _, g := range px.activeGroups() {
+			if px.advanceGroup(g) {
+				progressed = true
+			}
+		}
+		if !progressed && px.idle() {
+			px.ctx.InboxCond.Wait(p)
+		}
+	}
+}
+
+func (px *Proxy) idle() bool {
+	return px.ctx.InboxLen() == 0 && len(px.deferred) == 0 && len(px.combined) == 0
+}
+
+// handle dispatches one control message (Figure 8's DPU handler).
+func (px *Proxy) handle(pkt *verbs.Packet) {
+	px.proc.AdvanceBusy(px.fw.cfg.ProxyHandleCost)
+	px.CtrlMsgs++
+	if tr := px.fw.cl.Trace; tr.Enabled() {
+		tr.Add(px.proc.Now(), fmt.Sprintf("proxy%d", px.global), pkt.Kind, "")
+	}
+	switch m := pkt.Payload.(type) {
+	case *rtsMsg:
+		k := matchKey{m.Src, m.Dst, m.Tag}
+		if q := px.recvQ[k]; len(q) > 0 {
+			px.recvQ[k] = q[1:]
+			px.combined = append(px.combined, pairMsg{rts: m, rtr: q[0]})
+		} else {
+			px.sendQ[k] = append(px.sendQ[k], m)
+		}
+	case *rtrMsg:
+		k := matchKey{m.Src, m.Dst, m.Tag}
+		if q := px.sendQ[k]; len(q) > 0 {
+			px.sendQ[k] = q[1:]
+			px.combined = append(px.combined, pairMsg{rts: q[0], rtr: m})
+		} else {
+			px.recvQ[k] = append(px.recvQ[k], m)
+		}
+	case *groupPacket:
+		px.installGroup(m)
+	case *greplayMsg:
+		px.replayGroup(m)
+	case *dlvMsg:
+		px.deliveries[deliveryKey{m.DstHost, m.DstGroup, m.SrcHost}]++
+	case *oneSidedMsg:
+		px.handleOneSided(m)
+	default:
+		panic(fmt.Sprintf("core: proxy %d: unexpected packet %T", px.global, pkt.Payload))
+	}
+}
+
+// transfer moves one matched basic-primitive pair using the configured
+// mechanism, then FINs both hosts.
+func (px *Proxy) transfer(pr pairMsg) {
+	if px.fw.cfg.Mechanism == MechGVMI {
+		px.transferGVMI(pr)
+	} else {
+		px.transferStaged(pr)
+	}
+}
+
+// crossReg cross-registers a host mkey (through the cache when enabled,
+// keyed by source host rank per Section VII-B).
+func (px *Proxy) crossReg(srcHost int, info gvmi.MKeyInfo) *verbs.MR {
+	create := func() *verbs.MR {
+		mr, err := px.fw.cl.GVMI.CrossRegister(px.proc, px.ctx, info)
+		if err != nil {
+			panic(fmt.Sprintf("core: proxy %d cross-registration: %v", px.global, err))
+		}
+		return mr
+	}
+	if !px.fw.cfg.RegCaches {
+		return create()
+	}
+	mr, _ := px.crossCache.GetOrCreate(srcHost, info.Addr, info.Size, create)
+	return mr
+}
+
+// transferGVMI: cross-register the source host buffer and RDMA-write it
+// straight into the destination host's memory (Figure 6, GVMI path).
+func (px *Proxy) transferGVMI(pr pairMsg) {
+	mkey2 := px.crossReg(pr.rts.Src, pr.rts.MKey)
+	px.RDMAWrites++
+	if tr := px.fw.cl.Trace; tr.Enabled() {
+		tr.Add(px.proc.Now(), fmt.Sprintf("proxy%d", px.global), "gvmi-write",
+			fmt.Sprintf("%d->%d size=%d", pr.rts.Src, pr.rtr.Dst, pr.rts.Size))
+	}
+	err := px.ctx.PostWrite(px.proc, verbs.WriteOp{
+		LocalKey: mkey2.LKey(), LocalAddr: pr.rts.MKey.Addr,
+		RemoteKey: pr.rtr.RKey, RemoteAddr: pr.rtr.DstAddr,
+		Size: pr.rts.Size,
+		OnRemoteComplete: func(sim.Time) {
+			px.later(func() { px.finish(pr) })
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: proxy %d GVMI write: %v", px.global, err))
+	}
+}
+
+// transferStaged: RDMA-read the source into DPU staging memory, then
+// RDMA-write from the staging buffer to the destination (Figure 6, staged
+// path — the extra hop the GVMI design removes).
+func (px *Proxy) transferStaged(pr pairMsg) {
+	sb := px.getStage(pr.rts.Size)
+	px.StagedOps++
+	px.RDMAReads++
+	if tr := px.fw.cl.Trace; tr.Enabled() {
+		tr.Add(px.proc.Now(), fmt.Sprintf("proxy%d", px.global), "stage-read",
+			fmt.Sprintf("%d->%d size=%d", pr.rts.Src, pr.rtr.Dst, pr.rts.Size))
+	}
+	err := px.ctx.PostRead(px.proc, verbs.ReadOp{
+		LocalKey: sb.mr.LKey(), LocalAddr: sb.buf.Addr(),
+		RemoteKey: pr.rts.SrcRKey, RemoteAddr: pr.rts.SrcAddr,
+		Size: pr.rts.Size,
+		OnComplete: func(sim.Time) {
+			px.later(func() {
+				px.RDMAWrites++
+				err := px.ctx.PostWrite(px.proc, verbs.WriteOp{
+					LocalKey: sb.mr.LKey(), LocalAddr: sb.buf.Addr(),
+					RemoteKey: pr.rtr.RKey, RemoteAddr: pr.rtr.DstAddr,
+					Size: pr.rts.Size,
+					OnRemoteComplete: func(sim.Time) {
+						px.later(func() {
+							px.putStage(sb)
+							px.finish(pr)
+						})
+					},
+				})
+				if err != nil {
+					panic(fmt.Sprintf("core: staged write: %v", err))
+				}
+			})
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: staged read: %v", err))
+	}
+}
+
+// finish sends the FIN packets to both hosts of a completed pair.
+func (px *Proxy) finish(pr pairMsg) {
+	px.sendFIN(pr.rts.Src, pr.rts.SrcReqID)
+	px.sendFIN(pr.rtr.Dst, pr.rtr.DstReqID)
+}
+
+func (px *Proxy) sendFIN(hostRank int, reqID int64) {
+	h := px.fw.hosts[hostRank]
+	px.ctx.PostSend(px.proc, h.ctx, &verbs.Packet{
+		Kind: "fin", Size: px.fw.cfg.CtrlSize, Payload: &finMsg{ReqID: reqID},
+	})
+}
+
+// later queues fn for the next engine round (used from completion handlers,
+// which run in kernel handler context).
+func (px *Proxy) later(fn func()) {
+	px.deferred = append(px.deferred, fn)
+	px.ctx.InboxCond.Broadcast()
+}
+
+// getStage returns a registered DPU staging buffer of at least size bytes
+// (power-of-two pool; registration is charged to the proxy's ARM core on
+// first allocation).
+func (px *Proxy) getStage(size int) *stageBuf {
+	cls := 1
+	for cls < size {
+		cls <<= 1
+	}
+	if pool := px.stagePool[cls]; len(pool) > 0 {
+		sb := pool[len(pool)-1]
+		px.stagePool[cls] = pool[:len(pool)-1]
+		return sb
+	}
+	buf := px.site.Space.Alloc(cls, px.fw.cl.Cfg.BackedPayload)
+	mr := px.ctx.RegisterMR(px.proc, buf.Addr(), cls)
+	return &stageBuf{buf: buf, mr: mr}
+}
+
+func (px *Proxy) putStage(sb *stageBuf) {
+	px.stagePool[sb.buf.Size()] = append(px.stagePool[sb.buf.Size()], sb)
+}

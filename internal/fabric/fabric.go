@@ -1,0 +1,200 @@
+// Package fabric models the interconnect of the simulated cluster with a
+// LogGP-style cost model.
+//
+// Each node exposes two network endpoints: the host HCA port (ConnectX-class,
+// driven by fast host cores) and the DPU port (BlueField-class, driven by
+// slower ARM cores). Injecting a message of n bytes through an endpoint
+// occupies it for Overhead + n/Bandwidth; the head of the message leaves
+// after Overhead and arrives after the wire latency; the receiving endpoint
+// serializes concurrent arrivals at its own bandwidth. Per-message Overhead
+// is the knob that reproduces the paper's Figure 2/3 observation: DPU-driven
+// transfers have near-identical latency but roughly half the small-message
+// bandwidth of host-driven transfers, converging at large messages.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Params describes one endpoint's injection characteristics.
+type Params struct {
+	// Overhead is the per-message cost paid by the endpoint before the
+	// first byte is on the wire (driver + doorbell + WQE processing).
+	Overhead sim.Time
+	// GBps is the endpoint bandwidth in bytes per nanosecond
+	// (== gigabytes per second).
+	GBps float64
+}
+
+// serialize returns the time to push n bytes through the endpoint.
+func (p Params) serialize(n int) sim.Time {
+	if p.GBps <= 0 {
+		return 0
+	}
+	return sim.Time(float64(n) / p.GBps)
+}
+
+// Endpoint is one injection/reception port on the fabric.
+type Endpoint struct {
+	f    *Fabric
+	name string
+	node int
+	par  Params
+
+	txBusyUntil sim.Time
+	rxBusyUntil sim.Time
+
+	// Stats
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+}
+
+// Name returns the endpoint's diagnostic name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Node returns the node the endpoint is attached to.
+func (e *Endpoint) Node() int { return e.node }
+
+// Params returns the endpoint's cost parameters.
+func (e *Endpoint) Params() Params { return e.par }
+
+// Config holds fabric-wide latencies.
+type Config struct {
+	// WireLatency applies between endpoints on different nodes
+	// (NIC-switch-NIC flight time).
+	WireLatency sim.Time
+	// LocalLatency applies between endpoints on the same node
+	// (host HCA <-> DPU across the PCIe switch).
+	LocalLatency sim.Time
+	// LoopbackGBps is the serialization rate for same-node transfers:
+	// NIC-loopback traffic rides the PCIe switch (Gen4 x16 class), not the
+	// HDR wire, so it is faster than the port's line rate.
+	LoopbackGBps float64
+}
+
+// DefaultConfig mirrors an HDR InfiniBand fat-tree with BlueField-2 DPUs.
+func DefaultConfig() Config {
+	return Config{
+		WireLatency:  1 * sim.Microsecond,
+		LocalLatency: 700 * sim.Nanosecond,
+		LoopbackGBps: 28,
+	}
+}
+
+// Default endpoint parameter sets. HostPort is a ConnectX-class HCA driven
+// by host cores; DPUPort is the same silicon driven by BlueField ARM cores,
+// with ~2.4x the per-message overhead (reproduces Fig 2/3).
+var (
+	HostPortParams = Params{Overhead: 250 * sim.Nanosecond, GBps: 12.5}
+	DPUPortParams  = Params{Overhead: 600 * sim.Nanosecond, GBps: 12.5}
+)
+
+// BlueField-3 / NDR-class parameter sets, for the paper's future-work
+// scenario (Section X: "next generation BlueField-3 SmartNICs and
+// Infiniband NDR interconnects"): faster ARM cores (Cortex-A78 vs A72)
+// roughly halve the per-message posting overhead, and NDR doubles the line
+// rate.
+var (
+	HostPortParamsNDR = Params{Overhead: 220 * sim.Nanosecond, GBps: 25}
+	DPUPortParamsBF3  = Params{Overhead: 350 * sim.Nanosecond, GBps: 25}
+)
+
+// NDRConfig is the matching fabric: slightly lower switch latency, PCIe
+// Gen5 loopback.
+func NDRConfig() Config {
+	return Config{
+		WireLatency:  900 * sim.Nanosecond,
+		LocalLatency: 600 * sim.Nanosecond,
+		LoopbackGBps: 50,
+	}
+}
+
+// Fabric connects endpoints and schedules deliveries on the kernel.
+type Fabric struct {
+	k   *sim.Kernel
+	cfg Config
+	eps []*Endpoint
+}
+
+// New creates a fabric on kernel k.
+func New(k *sim.Kernel, cfg Config) *Fabric {
+	return &Fabric{k: k, cfg: cfg}
+}
+
+// Kernel returns the owning simulation kernel.
+func (f *Fabric) Kernel() *sim.Kernel { return f.k }
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// NewEndpoint attaches a new port on the given node.
+func (f *Fabric) NewEndpoint(name string, node int, par Params) *Endpoint {
+	e := &Endpoint{f: f, name: name, node: node, par: par}
+	f.eps = append(f.eps, e)
+	return e
+}
+
+// Latency returns the flight latency between two endpoints.
+func (f *Fabric) Latency(src, dst *Endpoint) sim.Time {
+	if src.node == dst.node {
+		return f.cfg.LocalLatency
+	}
+	return f.cfg.WireLatency
+}
+
+// Transfer injects a message of size bytes from src to dst and schedules
+// deliver (which may be nil) in handler context at the arrival time.
+// It returns the time the sender endpoint is free again (local completion)
+// and the delivery time at the receiver.
+//
+// Transfer may be called from process or handler context; it never blocks.
+// CPU costs of composing the message are the caller's business.
+func (f *Fabric) Transfer(src, dst *Endpoint, size int, deliver func()) (txDone, arrive sim.Time) {
+	if src == nil || dst == nil {
+		panic("fabric: nil endpoint")
+	}
+	if size < 0 {
+		panic(fmt.Sprintf("fabric: negative transfer size %d", size))
+	}
+	now := f.k.Now()
+
+	txPar, rxPar := src.par, dst.par
+	if src.node == dst.node && f.cfg.LoopbackGBps > 0 {
+		txPar.GBps, rxPar.GBps = f.cfg.LoopbackGBps, f.cfg.LoopbackGBps
+	}
+
+	start := now
+	if src.txBusyUntil > start {
+		start = src.txBusyUntil
+	}
+	txDone = start + txPar.Overhead + txPar.serialize(size)
+	src.txBusyUntil = txDone
+	src.MsgsSent++
+	src.BytesSent += int64(size)
+
+	headArrive := start + txPar.Overhead + f.Latency(src, dst)
+	rxStart := headArrive
+	if dst.rxBusyUntil > rxStart {
+		rxStart = dst.rxBusyUntil
+	}
+	arrive = rxStart + rxPar.serialize(size)
+	dst.rxBusyUntil = arrive
+	dst.MsgsRecv++
+	dst.BytesRecv += int64(size)
+
+	if deliver != nil {
+		f.k.At(arrive-now, deliver)
+	}
+	return txDone, arrive
+}
+
+// ResetStats zeroes the counters of every endpoint (busy horizons are kept).
+func (f *Fabric) ResetStats() {
+	for _, e := range f.eps {
+		e.MsgsSent, e.BytesSent, e.MsgsRecv, e.BytesRecv = 0, 0, 0, 0
+	}
+}

@@ -1,0 +1,106 @@
+package fft
+
+import (
+	"repro/internal/bench"
+	"repro/internal/coll"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// BenchResult summarizes one figure-scale P3DFFT-like run.
+type BenchResult struct {
+	Scheme     string
+	NX, NY, NZ int
+	Nodes, PPN int
+	Iters      int
+
+	Total   sim.Time // forward+backward per iteration (max over ranks)
+	MPITime sim.Time // time blocked in collective calls (rank-max)
+	Compute sim.Time // local FFT compute per iteration
+}
+
+// FlopRate is the modelled per-core FFT throughput (flops per nanosecond,
+// i.e. GFLOP/s) for figure-scale runs.
+const FlopRate = 4.0
+
+// stageCompute returns the modelled local compute of one 1D-FFT stage over
+// the rank's slab: pts/dim transforms of the given length.
+func stageCompute(localPts, dim int) sim.Time {
+	lines := localPts / dim
+	return sim.Time(Flops(dim) * float64(lines) / FlopRate)
+}
+
+// RunBench executes the application skeleton the paper profiles in Figure
+// 16(c): per phase, the computation loop initiates two nonblocking
+// all-to-alls with different buffers, computes, waits for one, computes
+// more, waits for the other. One iteration is a forward+backward transform
+// pair of two independent variables (as in test_sine.x).
+func RunBench(opt bench.Options, nx, ny, nz, warmup, iters int) BenchResult {
+	e := bench.Build(opt)
+	np := e.Cl.Cfg.NP()
+	per := nx / np * ny * (nz / np) * 16 // transpose block per peer, bytes
+	if per <= 0 {
+		panic("fft: grid too small for rank count")
+	}
+	localPts := nx * ny * nz / np
+
+	totals := make([]sim.Time, np)
+	mpiT := make([]sim.Time, np)
+	compT := make([]sim.Time, np)
+
+	e.Launch(func(r *mpi.Rank, ops coll.Ops, _ coll.P2P) {
+		me := r.RankID()
+		sendA, recvA := r.Alloc(np*per), r.Alloc(np*per)
+		sendB, recvB := r.Alloc(np*per), r.Alloc(np*per)
+
+		// One transform phase: XY transforms, transpose, Z transforms —
+		// for two variables (A, B) with their transposes in flight
+		// concurrently, overlapped with the local stages.
+		cXY := stageCompute(localPts, nx) + stageCompute(localPts, ny)
+		cZ := stageCompute(localPts, nz)
+		phase := func() {
+			r.Compute(cXY) // variable A local stages
+			qa := ops.Ialltoall(0, sendA.Addr(), recvA.Addr(), per)
+			r.Compute(cXY) // variable B local stages, overlapping A's transpose
+			qb := ops.Ialltoall(1, sendB.Addr(), recvB.Addr(), per)
+			ops.Wait(qa)
+			r.Compute(cZ) // A's final stage, overlapping B's transpose
+			ops.Wait(qb)
+			r.Compute(cZ)
+		}
+
+		for it := 0; it < warmup; it++ {
+			phase()
+			r.Barrier()
+		}
+		comp0 := r.ComputeTime
+		t0 := r.Now()
+		for it := 0; it < iters; it++ {
+			phase() // forward
+			phase() // backward
+		}
+		r.Barrier()
+		totals[me] = (r.Now() - t0) / sim.Time(iters)
+		compT[me] = (r.ComputeTime - comp0) / sim.Time(iters)
+		// Everything not spent computing is time blocked in (or posting)
+		// communication calls — the "MPI time" of the Figure 16(c) profile.
+		mpiT[me] = totals[me] - compT[me]
+	})
+
+	res := BenchResult{
+		Scheme: opt.Scheme, NX: nx, NY: ny, NZ: nz,
+		Nodes: opt.Nodes, PPN: opt.PPN, Iters: iters,
+	}
+	for i := 0; i < np; i++ {
+		if totals[i] > res.Total {
+			res.Total = totals[i]
+		}
+		if mpiT[i] > res.MPITime {
+			res.MPITime = mpiT[i]
+		}
+		if compT[i] > res.Compute {
+			res.Compute = compT[i]
+		}
+	}
+	return res
+}

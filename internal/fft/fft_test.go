@@ -1,0 +1,205 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/coll"
+	"repro/internal/mpi"
+)
+
+func almostEqual(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+// naiveDFT is the O(n^2) reference.
+func naiveDFT(a []complex128) []complex128 {
+	n := len(a)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			out[k] += a[t] * cmplx.Exp(complex(0, ang))
+		}
+	}
+	return out
+}
+
+func TestTransformMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 4, 8, 16, 64} {
+		a := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(a)
+		got := append([]complex128(nil), a...)
+		Transform(got, false)
+		for i := range got {
+			if !almostEqual(got[i], want[i], 1e-9*float64(n)) {
+				t.Fatalf("n=%d: FFT[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(9))
+		a := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		orig := append([]complex128(nil), a...)
+		Transform(a, false)
+		Transform(a, true)
+		for i := range a {
+			if !almostEqual(a[i], orig[i], 1e-9*float64(n)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformSineIsDelta(t *testing.T) {
+	const n = 64
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(math.Sin(2*math.Pi*3*float64(i)/n), 0)
+	}
+	Transform(a, false)
+	// A real sine of frequency 3 transforms to peaks at bins 3 and n-3.
+	for k := 0; k < n; k++ {
+		mag := cmplx.Abs(a[k])
+		if k == 3 || k == n-3 {
+			if mag < float64(n)/2-1e-6 {
+				t.Fatalf("bin %d magnitude %v, want ~%v", k, mag, n/2)
+			}
+		} else if mag > 1e-6 {
+			t.Fatalf("bin %d magnitude %v, want ~0", k, mag)
+		}
+	}
+}
+
+func TestTransformNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Transform(make([]complex128, 6), false)
+}
+
+// runDistributed executes a forward+backward 3D transform with the given
+// scheme and checks the round trip on every rank.
+func runDistributed(t *testing.T, scheme string, nodes, ppn, nx, ny, nz int) {
+	t.Helper()
+	e := bench.Build(bench.Options{Nodes: nodes, PPN: ppn, Scheme: scheme, Backed: true})
+	e.Launch(func(r *mpi.Rank, ops coll.Ops, _ coll.P2P) {
+		pl, err := NewPlan(r, ops, nx, ny, nz)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rng := rand.New(rand.NewSource(int64(100 + r.RankID())))
+		orig := make([]complex128, len(pl.Data))
+		for i := range pl.Data {
+			v := complex(rng.NormFloat64(), rng.NormFloat64())
+			pl.Data[i] = v
+			orig[i] = v
+		}
+		pl.Forward()
+		pl.Backward()
+		for i := range pl.Data {
+			if !almostEqual(pl.Data[i], orig[i], 1e-8*float64(nx*ny*nz)) {
+				t.Errorf("rank %d: round trip mismatch at %d: %v vs %v",
+					r.RankID(), i, pl.Data[i], orig[i])
+				return
+			}
+		}
+	})
+}
+
+func TestDistributedRoundTripHost(t *testing.T) {
+	runDistributed(t, baseline.NameIntelMPI, 2, 2, 8, 8, 8)
+}
+
+func TestDistributedRoundTripProposed(t *testing.T) {
+	runDistributed(t, baseline.NameProposed, 2, 2, 8, 8, 8)
+}
+
+func TestDistributedRoundTripBluesMPI(t *testing.T) {
+	runDistributed(t, baseline.NameBluesMPI, 2, 2, 8, 8, 8)
+}
+
+// The distributed transform of a sine along Z must match the spectrum the
+// serial transform produces: peaks at (0, 0, ±3).
+func TestDistributedSineSpectrum(t *testing.T) {
+	const nx, ny, nz = 8, 8, 16
+	e := bench.Build(bench.Options{Nodes: 2, PPN: 2, Scheme: baseline.NameProposed, Backed: true})
+	e.Launch(func(r *mpi.Rank, ops coll.Ops, _ coll.P2P) {
+		pl, err := NewPlan(r, ops, nx, ny, nz)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// data[z][y][x] = sin(2*pi*3*z/NZ), independent of x,y.
+		for z := 0; z < pl.lz; z++ {
+			gz := r.RankID()*pl.lz + z
+			v := complex(math.Sin(2*math.Pi*3*float64(gz)/nz), 0)
+			for i := 0; i < ny*nx; i++ {
+				pl.Data[z*ny*nx+i] = v
+			}
+		}
+		pl.Forward()
+		// Post-transpose layout [lx][NY][NZ]; spectrum nonzero only at
+		// kx=ky=0, kz in {3, nz-3}. kx=0 lives on rank 0.
+		for x := 0; x < pl.lx; x++ {
+			gx := r.RankID()*pl.lx + x
+			for y := 0; y < ny; y++ {
+				for z := 0; z < nz; z++ {
+					mag := cmplx.Abs(pl.Data[(x*ny+y)*nz+z])
+					expectPeak := gx == 0 && y == 0 && (z == 3 || z == nz-3)
+					if expectPeak && mag < 1 {
+						t.Errorf("missing peak at (%d,%d,%d): %v", gx, y, z, mag)
+					}
+					if !expectPeak && mag > 1e-6 {
+						t.Errorf("spurious energy at (%d,%d,%d): %v", gx, y, z, mag)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestRunBenchSchemes(t *testing.T) {
+	for _, scheme := range []string{baseline.NameIntelMPI, baseline.NameProposed, baseline.NameBluesMPI} {
+		res := RunBench(bench.Options{Nodes: 2, PPN: 2, Scheme: scheme}, 64, 64, 64, 1, 2)
+		if res.Total <= 0 || res.Compute <= 0 {
+			t.Fatalf("%s: bad result %+v", scheme, res)
+		}
+		if res.MPITime < 0 {
+			t.Fatalf("%s: negative MPI time", scheme)
+		}
+		t.Logf("%s: total=%v compute=%v mpi=%v", scheme, res.Total, res.Compute, res.MPITime)
+	}
+}
+
+func TestFlopsModel(t *testing.T) {
+	if Flops(1) != 0 {
+		t.Fatal("Flops(1) != 0")
+	}
+	if got := Flops(8); got != 5*8*3 {
+		t.Fatalf("Flops(8) = %v, want 120", got)
+	}
+}

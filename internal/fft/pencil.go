@@ -1,0 +1,275 @@
+package fft
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/mpi"
+)
+
+// PencilPlan is the 2D ("pencil") decomposition P3DFFT actually uses: the
+// np = P1 x P2 process grid assigns each rank NY/P1 x NZ/P2 full x-lines.
+// A forward transform is three 1D FFT stages separated by two transposes,
+// each an all-to-all *within* one dimension of the grid (row or column
+// communicators) — so it scales to rank counts the slab decomposition
+// cannot (np may exceed any single dimension).
+//
+// Exchange closures inject the transpose transport, so the same plan runs
+// over host MPI or the offloaded collectives (see NewPencilPlan*).
+type PencilPlan struct {
+	r          *mpi.Rank
+	NX, NY, NZ int
+	P1, P2     int
+	r1, r2     int
+	row, col   *mpi.Comm
+
+	lx, ly1, lz2, ly2 int
+
+	// Data holds the local pencils: [ly1][lz2][NX] in stage A,
+	// [lx][lz2][NY] in stage B, [lx][ly2][NZ] in stage C.
+	Data []complex128
+
+	rowSend, rowRecv *mem.Buffer
+	colSend, colRecv *mem.Buffer
+
+	rowXchg func(send, recv mem.Addr, per int)
+	colXchg func(send, recv mem.Addr, per int)
+}
+
+// NewPencilPlan builds the plan over host-MPI transposes.
+func NewPencilPlan(r *mpi.Rank, p1, p2, nx, ny, nz int) (*PencilPlan, error) {
+	pl, err := newPencil(r, p1, p2, nx, ny, nz)
+	if err != nil {
+		return nil, err
+	}
+	pl.rowXchg = func(s, d mem.Addr, per int) { pl.row.Alltoall(s, d, per) }
+	pl.colXchg = func(s, d mem.Addr, per int) { pl.col.Alltoall(s, d, per) }
+	return pl, nil
+}
+
+// NewPencilPlanOffload builds the plan with transposes offloaded to the
+// DPU proxies through comm-scoped group alltoalls.
+func NewPencilPlanOffload(r *mpi.Rank, p1, p2, nx, ny, nz int,
+	rowA2A, colA2A func(c *mpi.Comm, send, recv mem.Addr, per int)) (*PencilPlan, error) {
+	pl, err := newPencil(r, p1, p2, nx, ny, nz)
+	if err != nil {
+		return nil, err
+	}
+	pl.rowXchg = func(s, d mem.Addr, per int) { rowA2A(pl.row, s, d, per) }
+	pl.colXchg = func(s, d mem.Addr, per int) { colA2A(pl.col, s, d, per) }
+	return pl, nil
+}
+
+func newPencil(r *mpi.Rank, p1, p2, nx, ny, nz int) (*PencilPlan, error) {
+	if p1*p2 != r.Size() {
+		return nil, fmt.Errorf("fft: grid %dx%d != %d ranks", p1, p2, r.Size())
+	}
+	for _, c := range []struct {
+		dim, p int
+		name   string
+	}{{nx, p1, "NX%P1"}, {ny, p1, "NY%P1"}, {ny, p2, "NY%P2"}, {nz, p2, "NZ%P2"}} {
+		if c.dim%c.p != 0 {
+			return nil, fmt.Errorf("fft: %s != 0", c.name)
+		}
+	}
+	for _, d := range []int{nx, ny, nz} {
+		if d&(d-1) != 0 {
+			return nil, fmt.Errorf("fft: dimension %d not a power of two", d)
+		}
+	}
+	me := r.RankID()
+	pl := &PencilPlan{
+		r: r, NX: nx, NY: ny, NZ: nz, P1: p1, P2: p2,
+		r1: me % p1, r2: me / p1,
+		lx: nx / p1, ly1: ny / p1, lz2: nz / p2, ly2: ny / p2,
+	}
+	pl.row = r.Split(func(w int) int { return w / p1 }) // same r2: ranks r2*p1..r2*p1+p1-1
+	pl.col = r.Split(func(w int) int { return w % p1 }) // same r1
+	pl.Data = make([]complex128, pl.ly1*pl.lz2*nx)
+
+	rowBytes := pl.ly1 * pl.lz2 * pl.lx * 16 * p1
+	colBytes := pl.lx * pl.ly2 * pl.lz2 * 16 * p2
+	pl.rowSend = r.Alloc(rowBytes)
+	pl.rowRecv = r.Alloc(rowBytes)
+	pl.colSend = r.Alloc(colBytes)
+	pl.colRecv = r.Alloc(colBytes)
+	if !pl.rowSend.Backed() {
+		return nil, fmt.Errorf("fft: pencil plan requires payload-backed buffers")
+	}
+	return pl, nil
+}
+
+// Forward computes the 3D forward transform (X, transpose, Y, transpose, Z).
+func (pl *PencilPlan) Forward() { pl.transform(false) }
+
+// Backward computes the inverse (Forward∘Backward == identity).
+func (pl *PencilPlan) Backward() { pl.transform(true) }
+
+func (pl *PencilPlan) transform(inverse bool) {
+	if !inverse {
+		pl.fftLines(pl.NX, inverse) // stage A: x-lines
+		pl.transposeAB(false)
+		pl.fftLines(pl.NY, inverse) // stage B: y-lines
+		pl.transposeBC(false)
+		pl.fftLines(pl.NZ, inverse) // stage C: z-lines
+	} else {
+		pl.fftLines(pl.NZ, inverse)
+		pl.transposeBC(true)
+		pl.fftLines(pl.NY, inverse)
+		pl.transposeAB(true)
+		pl.fftLines(pl.NX, inverse)
+	}
+}
+
+// fftLines transforms every contiguous line of length n in Data.
+func (pl *PencilPlan) fftLines(n int, inverse bool) {
+	for off := 0; off+n <= len(pl.Data); off += n {
+		Transform(pl.Data[off:off+n], inverse)
+	}
+}
+
+// transposeAB exchanges within the row communicator: X becomes distributed
+// (lx per rank), Y becomes full. A layout [ly1][lz2][NX] <-> B layout
+// [lx][lz2][NY]. Pack order within a block: (z, y, x).
+func (pl *PencilPlan) transposeAB(inverse bool) {
+	per := pl.ly1 * pl.lz2 * pl.lx * 16
+	if !inverse {
+		sb := pl.rowSend.Bytes()
+		for j := 0; j < pl.P1; j++ {
+			i := 0
+			off := j * per
+			for z := 0; z < pl.lz2; z++ {
+				for y := 0; y < pl.ly1; y++ {
+					base := (y*pl.lz2+z)*pl.NX + j*pl.lx
+					for x := 0; x < pl.lx; x++ {
+						putC128(sb[off+i*16:], pl.Data[base+x])
+						i++
+					}
+				}
+			}
+		}
+		pl.rowXchg(pl.rowSend.Addr(), pl.rowRecv.Addr(), per)
+		rb := pl.rowRecv.Bytes()
+		out := make([]complex128, pl.lx*pl.lz2*pl.NY)
+		for j := 0; j < pl.P1; j++ {
+			i := 0
+			off := j * per
+			for z := 0; z < pl.lz2; z++ {
+				for y := 0; y < pl.ly1; y++ {
+					gy := j*pl.ly1 + y
+					for x := 0; x < pl.lx; x++ {
+						out[(x*pl.lz2+z)*pl.NY+gy] = getC128(rb[off+i*16:])
+						i++
+					}
+				}
+			}
+		}
+		pl.Data = out
+		return
+	}
+	// Inverse: B -> A.
+	sb := pl.rowSend.Bytes()
+	for j := 0; j < pl.P1; j++ {
+		i := 0
+		off := j * per
+		for z := 0; z < pl.lz2; z++ {
+			for y := 0; y < pl.ly1; y++ {
+				gy := j*pl.ly1 + y
+				for x := 0; x < pl.lx; x++ {
+					putC128(sb[off+i*16:], pl.Data[(x*pl.lz2+z)*pl.NY+gy])
+					i++
+				}
+			}
+		}
+	}
+	pl.rowXchg(pl.rowSend.Addr(), pl.rowRecv.Addr(), per)
+	rb := pl.rowRecv.Bytes()
+	out := make([]complex128, pl.ly1*pl.lz2*pl.NX)
+	for j := 0; j < pl.P1; j++ {
+		i := 0
+		off := j * per
+		for z := 0; z < pl.lz2; z++ {
+			for y := 0; y < pl.ly1; y++ {
+				base := (y*pl.lz2+z)*pl.NX + j*pl.lx
+				for x := 0; x < pl.lx; x++ {
+					out[base+x] = getC128(rb[off+i*16:])
+					i++
+				}
+			}
+		}
+	}
+	pl.Data = out
+}
+
+// transposeBC exchanges within the column communicator: Y becomes
+// distributed (ly2 per rank), Z becomes full. B layout [lx][lz2][NY] <->
+// C layout [lx][ly2][NZ]. Pack order within a block: (x, z, y).
+func (pl *PencilPlan) transposeBC(inverse bool) {
+	per := pl.lx * pl.ly2 * pl.lz2 * 16
+	if !inverse {
+		sb := pl.colSend.Bytes()
+		for k := 0; k < pl.P2; k++ {
+			i := 0
+			off := k * per
+			for x := 0; x < pl.lx; x++ {
+				for z := 0; z < pl.lz2; z++ {
+					base := (x*pl.lz2+z)*pl.NY + k*pl.ly2
+					for y := 0; y < pl.ly2; y++ {
+						putC128(sb[off+i*16:], pl.Data[base+y])
+						i++
+					}
+				}
+			}
+		}
+		pl.colXchg(pl.colSend.Addr(), pl.colRecv.Addr(), per)
+		rb := pl.colRecv.Bytes()
+		out := make([]complex128, pl.lx*pl.ly2*pl.NZ)
+		for k := 0; k < pl.P2; k++ {
+			i := 0
+			off := k * per
+			for x := 0; x < pl.lx; x++ {
+				for z := 0; z < pl.lz2; z++ {
+					gz := k*pl.lz2 + z
+					for y := 0; y < pl.ly2; y++ {
+						out[(x*pl.ly2+y)*pl.NZ+gz] = getC128(rb[off+i*16:])
+						i++
+					}
+				}
+			}
+		}
+		pl.Data = out
+		return
+	}
+	// Inverse: C -> B.
+	sb := pl.colSend.Bytes()
+	for k := 0; k < pl.P2; k++ {
+		i := 0
+		off := k * per
+		for x := 0; x < pl.lx; x++ {
+			for z := 0; z < pl.lz2; z++ {
+				gz := k*pl.lz2 + z
+				for y := 0; y < pl.ly2; y++ {
+					putC128(sb[off+i*16:], pl.Data[(x*pl.ly2+y)*pl.NZ+gz])
+					i++
+				}
+			}
+		}
+	}
+	pl.colXchg(pl.colSend.Addr(), pl.colRecv.Addr(), per)
+	rb := pl.colRecv.Bytes()
+	out := make([]complex128, pl.lx*pl.lz2*pl.NY)
+	for k := 0; k < pl.P2; k++ {
+		i := 0
+		off := k * per
+		for x := 0; x < pl.lx; x++ {
+			for z := 0; z < pl.lz2; z++ {
+				base := (x*pl.lz2+z)*pl.NY + k*pl.ly2
+				for y := 0; y < pl.ly2; y++ {
+					out[base+y] = getC128(rb[off+i*16:])
+					i++
+				}
+			}
+		}
+	}
+	pl.Data = out
+}

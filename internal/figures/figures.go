@@ -1,0 +1,287 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (Section VIII) plus the motivation microbenchmarks (Section
+// II). Each Fig* function runs the corresponding experiment on the
+// simulated testbed and returns printable tables; cmd/offloadbench exposes
+// them as subcommands and bench_test.go as testing.B benchmarks.
+//
+// Scale note: the paper's runs use 32 processes per node and 100
+// iterations. The simulator is deterministic, so defaults use fewer
+// iterations, and the PPN is adjustable; pass the paper's values for
+// full-scale runs (see EXPERIMENTS.md for the shipped results).
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/fft"
+	"repro/internal/hpl"
+	"repro/internal/sim"
+	"repro/internal/stencil"
+)
+
+// Schemes compared in the collective/application experiments.
+var nbcSchemes = []string{baseline.NameBluesMPI, baseline.NameProposed, baseline.NameIntelMPI}
+
+// Fig2 reproduces Figure 2: RDMA-write latency, host-driven vs DPU-driven.
+func Fig2(iters int) *bench.Table {
+	t := &bench.Table{
+		Title:   "Fig 2: RDMA-Write Latency — Host-to-Host vs Host-to-DPU (us)",
+		Headers: []string{"Size", "Host-to-Host", "Host-to-DPU", "Ratio"},
+	}
+	for _, row := range bench.MeasureRDMALatency(bench.Pow2Sizes(2, 2048), iters) {
+		t.AddRow(bench.SizeLabel(row.Size),
+			bench.F2(row.HostHost.Micros()),
+			bench.F2(row.HostDPU.Micros()),
+			bench.F2(float64(row.HostDPU)/float64(row.HostHost)))
+	}
+	t.Notes = append(t.Notes, "paper: DPU latency close to host latency (slower ARM posting amortized by wire time)")
+	return t
+}
+
+// Fig3 reproduces Figure 3: RDMA-write bandwidth normalized to host-to-host.
+func Fig3(window, iters int) *bench.Table {
+	t := &bench.Table{
+		Title:   "Fig 3: RDMA-Write Bandwidth — normalized to Host-to-Host (higher is better)",
+		Headers: []string{"Size", "Host GB/s", "DPU GB/s", "Normalized"},
+	}
+	for _, row := range bench.MeasureRDMABandwidth(bench.Pow2Sizes(2, 4<<20), window, iters) {
+		t.AddRow(bench.SizeLabel(row.Size),
+			bench.F2(row.HostHost), bench.F2(row.HostDPU), bench.F2(row.Normalized))
+	}
+	t.Notes = append(t.Notes, "paper: ~0.5 for small messages (ARM injection rate), converging at large messages")
+	return t
+}
+
+// Fig4 reproduces Figure 4: nonblocking pingpong latency, host MPI vs a
+// staging-based offload design.
+func Fig4(warmup, iters int) *bench.Table {
+	t := &bench.Table{
+		Title:   "Fig 4: Nonblocking Pingpong Latency — Host MPI vs Staging offload (us)",
+		Headers: []string{"Size", "Host", "Staged", "Degradation"},
+	}
+	staging := baseline.StagingNoWarmupConfig()
+	for _, size := range bench.Pow2Sizes(4<<10, 2<<20) {
+		host := bench.MeasurePingpongNB(bench.Options{
+			Nodes: 2, PPN: 1, Scheme: baseline.NameIntelMPI,
+		}, size, warmup, iters)
+		staged := bench.MeasurePingpongNB(bench.Options{
+			Nodes: 2, PPN: 1, Scheme: baseline.NameBluesMPI, Core: &staging,
+		}, size, warmup, iters)
+		t.AddRow(bench.SizeLabel(size),
+			bench.F2(host.Micros()), bench.F2(staged.Micros()),
+			bench.F2(float64(staged)/float64(host)))
+	}
+	t.Notes = append(t.Notes, "paper: staging degrades latency vs direct host-host (extra hop through DPU DRAM)")
+	return t
+}
+
+// Fig5 reproduces Figure 5: the two cross-GVMI registration costs.
+func Fig5() *bench.Table {
+	t := &bench.Table{
+		Title:   "Fig 5: Memory registration overheads for cross-GVMI (us)",
+		Headers: []string{"Size", "Host GVMI reg", "DPU cross-reg"},
+	}
+	for _, row := range bench.MeasureRegistration(bench.Pow2Sizes(4<<10, 4<<20)) {
+		t.AddRow(bench.SizeLabel(row.Size),
+			bench.F2(row.HostReg.Micros()), bench.F2(row.CrossReg.Micros()))
+	}
+	t.Notes = append(t.Notes, "both grow with size; cross-registration costs more (ARM cores, mkey validation)")
+	return t
+}
+
+// Fig11And12 reproduces Figures 11 and 12: the 3D-stencil overall time
+// (normalized to IntelMPI) and overlap percentage, Proposed vs IntelMPI.
+func Fig11And12(nodes, ppn, warmup, iters int, problems []int) (*bench.Table, *bench.Table) {
+	t11 := &bench.Table{
+		Title:   fmt.Sprintf("Fig 11: 3DStencil normalized overall time, %d nodes x %d PPN (lower is better)", nodes, ppn),
+		Headers: []string{"Problem", "Proposed", "IntelMPI", "Proposed overall", "IntelMPI overall"},
+	}
+	t12 := &bench.Table{
+		Title:   fmt.Sprintf("Fig 12: 3DStencil overlap %%, %d nodes x %d PPN", nodes, ppn),
+		Headers: []string{"Problem", "Proposed", "IntelMPI"},
+	}
+	for _, n := range problems {
+		host := stencil.Run(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameIntelMPI}, n, warmup, iters)
+		prop := stencil.Run(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed}, n, warmup, iters)
+		label := fmt.Sprintf("%d^3", n)
+		t11.AddRow(label,
+			bench.F2(float64(prop.Overall)/float64(host.Overall)),
+			"1.00",
+			prop.Overall.String(), host.Overall.String())
+		t12.AddRow(label, bench.Pct(prop.Overlap), bench.Pct(host.Overlap))
+	}
+	t11.Notes = append(t11.Notes, "paper: >20% benefit for Proposed")
+	t12.Notes = append(t12.Notes, "paper: Proposed ~78% (intra-node transfers stay on the CPU); IntelMPI drops at the largest size")
+	return t11, t12
+}
+
+// Fig13And14 reproduces Figures 13(a-c) and 14: Ialltoall overall time and
+// overlap for BluesMPI / Proposed / IntelMPI across node counts and message
+// sizes.
+func Fig13And14(nodesList []int, ppn int, sizes []int, warmup, iters int) ([]*bench.Table, []*bench.Table) {
+	var t13s, t14s []*bench.Table
+	for _, nodes := range nodesList {
+		t13 := &bench.Table{
+			Title:   fmt.Sprintf("Fig 13: Ialltoall overall time (comm+compute), %d nodes x %d PPN (us)", nodes, ppn),
+			Headers: []string{"Size", "BluesMPI", "Proposed", "IntelMPI", "vs BluesMPI", "vs IntelMPI"},
+		}
+		t14 := &bench.Table{
+			Title:   fmt.Sprintf("Fig 14: Ialltoall overlap %%, %d nodes x %d PPN", nodes, ppn),
+			Headers: []string{"Size", "BluesMPI", "Proposed", "IntelMPI"},
+		}
+		for _, size := range sizes {
+			res := map[string]bench.NBCResult{}
+			for _, scheme := range nbcSchemes {
+				res[scheme] = bench.MeasureIalltoall(bench.Options{
+					Nodes: nodes, PPN: ppn, Scheme: scheme,
+				}, size, warmup, iters)
+			}
+			b, p, i := res[baseline.NameBluesMPI], res[baseline.NameProposed], res[baseline.NameIntelMPI]
+			t13.AddRow(bench.SizeLabel(size),
+				bench.F2(b.Overall.Micros()), bench.F2(p.Overall.Micros()), bench.F2(i.Overall.Micros()),
+				bench.Pct(100*(1-float64(p.Overall)/float64(b.Overall))),
+				bench.Pct(100*(1-float64(p.Overall)/float64(i.Overall))))
+			t14.AddRow(bench.SizeLabel(size),
+				bench.Pct(b.Overlap), bench.Pct(p.Overlap), bench.Pct(i.Overlap))
+		}
+		t13.Notes = append(t13.Notes, "paper: Proposed up to 25/30/47% better than BluesMPI and 35/40/58% than IntelMPI at 4/8/16 nodes")
+		t14.Notes = append(t14.Notes, "paper: BluesMPI and Proposed both near 100% overlap; IntelMPI lower")
+		t13s = append(t13s, t13)
+		t14s = append(t14s, t14)
+	}
+	return t13s, t14s
+}
+
+// Fig15 reproduces Figure 15: the scatter-destination exchange implemented
+// with Simple (basic) primitives versus Group primitives, on the Proposed
+// framework. Disabling the group cache isolates the metadata-exchange
+// saving.
+func Fig15(nodes, ppn int, sizes []int, warmup, iters int, groupCache bool) *bench.Table {
+	title := fmt.Sprintf("Fig 15: Scatter-destination pattern — Simple vs Group primitives, %d nodes x %d PPN (us)", nodes, ppn)
+	if !groupCache {
+		title += " [group cache OFF]"
+	}
+	t := &bench.Table{
+		Title:   title,
+		Headers: []string{"Size", "Simple", "Group", "Improvement"},
+	}
+	cfg := baseline.ProposedConfig()
+	cfg.GroupCache = groupCache
+	for _, size := range sizes {
+		opt := bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed, Core: &cfg}
+		simple := bench.MeasureScatterDest(opt, size, warmup, iters, true)
+		group := bench.MeasureScatterDest(opt, size, warmup, iters, false)
+		t.AddRow(bench.SizeLabel(size),
+			bench.F2(simple.Overall.Micros()), bench.F2(group.Overall.Micros()),
+			bench.Pct(100*(1-float64(group.Overall)/float64(simple.Overall))))
+	}
+	t.Notes = append(t.Notes, "paper: Group primitives up to 40% better (host-side gathering + one-time metadata exchange)")
+	return t
+}
+
+// Fig16 reproduces Figures 16(a) and 16(b): P3DFFT runtimes normalized to
+// IntelMPI for a set of Z extents at fixed X=Y.
+func Fig16(nodes, ppn, xy int, zs []int, iters int) *bench.Table {
+	// Application-level runs use no warm-up iterations: the paper traces
+	// BluesMPI's app-level loss to exactly this (Section VIII-D).
+	const warmup = 0
+	t := &bench.Table{
+		Title:   fmt.Sprintf("Fig 16: P3DFFT normalized runtime, %d nodes x %d PPN, X=Y=%d (lower is better)", nodes, ppn, xy),
+		Headers: []string{"Z", "BluesMPI", "Proposed", "IntelMPI", "Proposed total"},
+	}
+	for _, z := range zs {
+		res := map[string]fft.BenchResult{}
+		for _, scheme := range nbcSchemes {
+			res[scheme] = fft.RunBench(bench.Options{
+				Nodes: nodes, PPN: ppn, Scheme: scheme,
+			}, xy, xy, z, warmup, iters)
+		}
+		host := float64(res[baseline.NameIntelMPI].Total)
+		t.AddRow(fmt.Sprint(z),
+			bench.F2(float64(res[baseline.NameBluesMPI].Total)/host),
+			bench.F2(float64(res[baseline.NameProposed].Total)/host),
+			"1.00",
+			res[baseline.NameProposed].Total.String())
+	}
+	t.Notes = append(t.Notes,
+		"paper 16(a): Proposed up to 16% better than IntelMPI, 55% than BluesMPI (8 nodes)",
+		"paper 16(b): up to 20% / 60% (16 nodes); BluesMPI suffers without warm-up iterations")
+	return t
+}
+
+// Fig16C reproduces Figure 16(c): the single-phase profile (compute vs time
+// in MPI) of the forward transform for problem P1.
+func Fig16C(nodes, ppn, xy, z, iters int) *bench.Table {
+	const warmup = 0 // application level: no warm-up iterations
+	t := &bench.Table{
+		Title:   fmt.Sprintf("Fig 16(c): P3DFFT single-phase profile, %d nodes x %d PPN, %dx%dx%d (ms)", nodes, ppn, xy, xy, z),
+		Headers: []string{"Library", "Compute", "MPI time", "Total"},
+	}
+	for _, scheme := range []string{baseline.NameIntelMPI, baseline.NameBluesMPI, baseline.NameProposed} {
+		res := fft.RunBench(bench.Options{Nodes: nodes, PPN: ppn, Scheme: scheme}, xy, xy, z, warmup, iters)
+		t.AddRow(scheme,
+			bench.F2(res.Compute.Millis()), bench.F2(res.MPITime.Millis()), bench.F2(res.Total.Millis()))
+	}
+	t.Notes = append(t.Notes, "paper: compute identical across libraries; BluesMPI spends the most time in MPI_Wait (no warm-up at app level)")
+	return t
+}
+
+// HPLVariant pairs a display name with scheme and broadcast variant.
+type HPLVariant struct {
+	Label   string
+	Scheme  string
+	Variant hpl.Variant
+}
+
+// HPLVariants is the Figure 17 comparison set.
+var HPLVariants = []HPLVariant{
+	{"IntelMPI-1ring", baseline.NameIntelMPI, hpl.Ring1},
+	{"IntelMPI-Ibcast", baseline.NameIntelMPI, hpl.HostIbcast},
+	{"BluesMPI", baseline.NameBluesMPI, hpl.Offload},
+	{"Proposed", baseline.NameProposed, hpl.Offload},
+}
+
+// Fig17 reproduces Figure 17: HPL total runtime for problem sizes occupying
+// the given percentages of memGB per node, normalized to IntelMPI-1ring.
+func Fig17(nodes, ppn, memGB, nb int, fracs []int) *bench.Table {
+	t := &bench.Table{
+		Title: fmt.Sprintf("Fig 17: HPL normalized runtime, %d nodes x %d PPN, %d GB/node (lower is better)",
+			nodes, ppn, memGB),
+		Headers: []string{"Mem%", "N", "IntelMPI-1ring", "IntelMPI-Ibcast", "BluesMPI", "Proposed"},
+	}
+	for _, frac := range fracs {
+		n := HPLSizeFor(nodes, memGB, frac, nb)
+		totals := map[string]sim.Time{}
+		for _, v := range HPLVariants {
+			par := hpl.DefaultParams(n, nb, v.Variant)
+			res := hpl.Run(bench.Options{Nodes: nodes, PPN: ppn, Scheme: v.Scheme}, par)
+			totals[v.Label] = res.Total
+		}
+		base := float64(totals["IntelMPI-1ring"])
+		t.AddRow(fmt.Sprintf("%d%%", frac), fmt.Sprint(n),
+			"1.00",
+			bench.F2(float64(totals["IntelMPI-Ibcast"])/base),
+			bench.F2(float64(totals["BluesMPI"])/base),
+			bench.F2(float64(totals["Proposed"])/base))
+	}
+	t.Notes = append(t.Notes,
+		"paper: Proposed ~15-18% better at 5-10% memory, >=8.5% at 50-75%; 1ring ~ BluesMPI",
+		"here: the 1D panel ring spans all np ranks (DESIGN.md), so small-fraction broadcasts",
+		"are wire-bound and near-tied; the proposed win appears at 25-75% where updates race the ring")
+	return t
+}
+
+// HPLSizeFor converts a memory fraction into a matrix order, rounded to a
+// multiple of nb (the HPL convention: N = sqrt(frac * total_mem / 8)).
+func HPLSizeFor(nodes, memGB, fracPct, nb int) int {
+	totalBytes := float64(nodes) * float64(memGB) * 1e9 * float64(fracPct) / 100
+	n := int(math.Sqrt(totalBytes / 8))
+	n -= n % nb
+	if n < nb*2 {
+		n = nb * 2
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+package hpl
+
+import (
+	"repro/internal/coll"
+	"repro/internal/mem"
+	"repro/internal/mpi"
+)
+
+// bcastHandle tracks one in-flight panel broadcast in whichever variant.
+type bcastHandle struct {
+	s     *state
+	k     int
+	owner int
+	buf   *mem.Buffer
+	bytes int
+
+	// Ring1 state.
+	rq        *mpi.Request
+	sq        *mpi.Request
+	forwarded bool
+
+	// HostIbcast state.
+	cq *mpi.CollRequest
+
+	// Offload state.
+	oq coll.Request
+}
+
+// ringTag separates per-step ring traffic from other MPI activity.
+func ringTag(k int) int { return 4096 + k }
+
+// startBcast begins the panel broadcast for step k. For Ring1 the owner
+// sends to its right neighbour and everyone else posts the receive from the
+// left; forwarding happens in poll(), only when the CPU gets there — the
+// Listing 1 limitation. The offload variant hands the whole ring to the
+// proxies.
+func (s *state) startBcast(k int, buf *mem.Buffer, owner int) *bcastHandle {
+	bc := &bcastHandle{s: s, k: k, owner: owner, buf: buf, bytes: s.panelBytes(k)}
+	if s.np == 1 {
+		return bc
+	}
+	switch s.par.Variant {
+	case Ring1:
+		right := (s.me + 1) % s.np
+		if s.me == owner {
+			if right != owner {
+				bc.sq = s.r.Isend(buf.Addr(), bc.bytes, right, ringTag(k))
+			}
+			bc.forwarded = true
+		} else {
+			left := (s.me - 1 + s.np) % s.np
+			bc.rq = s.r.Irecv(buf.Addr(), bc.bytes, left, ringTag(k))
+		}
+	case HostIbcast:
+		bc.cq = s.r.Ibcast(buf.Addr(), bc.bytes, owner)
+	case Offload:
+		bc.oq = s.ops.Ibcast(0, buf.Addr(), bc.bytes, owner)
+	}
+	return bc
+}
+
+// poll progresses the broadcast from the host CPU (between compute chunks).
+// Ring1 forwards the panel to the right neighbour once it has arrived.
+func (bc *bcastHandle) poll() {
+	s := bc.s
+	if s.np == 1 {
+		return
+	}
+	switch s.par.Variant {
+	case Ring1:
+		if bc.rq != nil && !bc.forwarded && s.r.Test(bc.rq) {
+			right := (s.me + 1) % s.np
+			if right != bc.owner {
+				bc.sq = s.r.Isend(bc.buf.Addr(), bc.bytes, right, ringTag(bc.k))
+			}
+			bc.forwarded = true
+		}
+	case HostIbcast:
+		s.r.TestColl(bc.cq)
+	case Offload:
+		// Progresses on the DPU; nothing for the CPU to do.
+	}
+}
+
+// waitBcast completes the broadcast: the rank must hold the panel, and any
+// forwarding it owes the ring must be finished before the buffer can be
+// reused.
+func (s *state) waitBcast(bc *bcastHandle) {
+	if s.np == 1 {
+		return
+	}
+	switch s.par.Variant {
+	case Ring1:
+		if bc.rq != nil {
+			s.r.Wait(bc.rq)
+			if !bc.forwarded {
+				right := (s.me + 1) % s.np
+				if right != bc.owner {
+					bc.sq = s.r.Isend(bc.buf.Addr(), bc.bytes, right, ringTag(bc.k))
+				}
+				bc.forwarded = true
+			}
+		}
+		if bc.sq != nil {
+			s.r.Wait(bc.sq)
+		}
+	case HostIbcast:
+		s.r.WaitColl(bc.cq)
+	case Offload:
+		s.ops.Wait(bc.oq)
+	}
+}

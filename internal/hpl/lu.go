@@ -1,0 +1,176 @@
+package hpl
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/mem"
+)
+
+// Panel wire format: column-major rectangle of rowsAt(k) x NB float64s,
+// rows k*NB .. N-1 of the factored panel columns (L11+U11 block plus L21).
+
+func putF64(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }
+func getF64(b []byte) float64    { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
+
+// panelElem reads element (i, j) of the packed panel for step k, where i is
+// the global row (>= k*NB) and j the panel column index.
+func (s *state) panelElem(buf *mem.Buffer, k, i, j int) float64 {
+	rows := s.rowsAt(k)
+	off := (j*rows + (i - k*s.par.NB)) * 8
+	return getF64(buf.Bytes()[off:])
+}
+
+// factorPanel factorizes block column k in place (real-math mode) and packs
+// it into buf; in modelled mode it only charges the compute time.
+func (s *state) factorPanel(k int, buf *mem.Buffer) {
+	s.compute(s.factorFlops(k))
+	if s.cols == nil {
+		return
+	}
+	n, nb := s.par.N, s.par.NB
+	base := k * nb
+	for j := 0; j < nb; j++ {
+		col := s.cols[base+j]
+		piv := col[base+j]
+		for i := base + j + 1; i < n; i++ {
+			col[i] /= piv
+		}
+		for m := j + 1; m < nb; m++ {
+			cm := s.cols[base+m]
+			mult := cm[base+j]
+			if mult == 0 {
+				continue
+			}
+			for i := base + j + 1; i < n; i++ {
+				cm[i] -= col[i] * mult
+			}
+		}
+	}
+	// Pack rows base..n-1 of the nb panel columns.
+	rows := s.rowsAt(k)
+	b := buf.Bytes()
+	for j := 0; j < nb; j++ {
+		col := s.cols[base+j]
+		off := j * rows * 8
+		for i := base; i < n; i++ {
+			putF64(b[off+(i-base)*8:], col[i])
+		}
+	}
+}
+
+// updateColumn applies panel k to one local column c:
+// a triangular solve for the U block followed by a GEMV on the rows below.
+func (s *state) updateColumn(panel *mem.Buffer, k, c int) {
+	n, nb := s.par.N, s.par.NB
+	base := k * nb
+	col := s.cols[c]
+	// Forward substitution with the unit-lower L11: u_j = a_j - sum L[j,m] u_m.
+	for j := 0; j < nb; j++ {
+		sum := col[base+j]
+		for m := 0; m < j; m++ {
+			sum -= s.panelElem(panel, k, base+j, m) * col[base+m]
+		}
+		col[base+j] = sum
+	}
+	// Rows below the panel: a_i -= L21[i,:] * u.
+	for i := base + nb; i < n; i++ {
+		sum := col[i]
+		for j := 0; j < nb; j++ {
+			sum -= s.panelElem(panel, k, i, j) * col[base+j]
+		}
+		col[i] = sum
+	}
+}
+
+// updateBlock updates this rank's columns of block b with panel k
+// (the look-ahead's critical-path update before factoring b).
+func (s *state) updateBlock(k int, panel *mem.Buffer, b int) {
+	w := s.blockWidth(b)
+	s.compute(s.updateFlops(k, w))
+	if s.cols == nil {
+		return
+	}
+	for j := 0; j < w; j++ {
+		s.updateColumn(panel, k, b*s.par.NB+j)
+	}
+}
+
+// updateTrailing applies panel k to all of this rank's columns in blocks
+// > k, except block skip (already updated on the look-ahead path). The
+// modelled compute is chunked with poll() in between (Listing 1's pattern);
+// poll may be nil.
+func (s *state) updateTrailing(k int, panel *mem.Buffer, skip int, poll func()) {
+	ncols := 0
+	for b := k + 1; b < s.nblk; b++ {
+		if b != skip && s.ownerOf(b) == s.me {
+			ncols += s.blockWidth(b)
+		}
+	}
+	if ncols > 0 {
+		s.computePolled(s.updateFlops(k, ncols), poll)
+		if s.cols != nil {
+			for b := k + 1; b < s.nblk; b++ {
+				if b == skip || s.ownerOf(b) != s.me {
+					continue
+				}
+				for j := 0; j < s.blockWidth(b); j++ {
+					s.updateColumn(panel, k, b*s.par.NB+j)
+				}
+			}
+		}
+	} else if poll != nil {
+		// Nothing to compute: still give the broadcast a poll.
+		poll()
+	}
+}
+
+// SerialLU is the reference factorization used by tests: the same blocked
+// right-looking algorithm on a full local matrix (column-major).
+func SerialLU(n, nb int) [][]float64 {
+	cols := make([][]float64, n)
+	for c := 0; c < n; c++ {
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = Entry(n, i, c)
+		}
+		cols[c] = col
+	}
+	for k := 0; k < n/nb; k++ {
+		base := k * nb
+		// Panel factorization.
+		for j := 0; j < nb; j++ {
+			col := cols[base+j]
+			piv := col[base+j]
+			for i := base + j + 1; i < n; i++ {
+				col[i] /= piv
+			}
+			for m := j + 1; m < nb; m++ {
+				cm := cols[base+m]
+				mult := cm[base+j]
+				for i := base + j + 1; i < n; i++ {
+					cm[i] -= col[i] * mult
+				}
+			}
+		}
+		// Trailing update.
+		for c := base + nb; c < n; c++ {
+			col := cols[c]
+			for j := 0; j < nb; j++ {
+				sum := col[base+j]
+				for m := 0; m < j; m++ {
+					sum -= cols[base+m][base+j] * col[base+m]
+				}
+				col[base+j] = sum
+			}
+			for i := base + nb; i < n; i++ {
+				sum := col[i]
+				for j := 0; j < nb; j++ {
+					sum -= cols[base+j][i] * col[base+j]
+				}
+				col[i] = sum
+			}
+		}
+	}
+	return cols
+}

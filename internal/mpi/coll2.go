@@ -1,0 +1,151 @@
+package mpi
+
+import "repro/internal/mem"
+
+// Gather collects per bytes from every rank's sendAddr into root's
+// recvAddr, ordered by rank (binomial tree: leaves push partial gathers up).
+func (r *Rank) Gather(sendAddr, recvAddr mem.Addr, per, root int) {
+	t0 := r.enter()
+	defer r.leave(t0)
+	np := r.Size()
+	tag := r.nextCollTag()
+	rel := (r.rank - root + np) % np
+
+	// Each subtree owner accumulates its subtree's blocks (in relative
+	// numbering) into a staging buffer, then forwards them to its parent.
+	sub := r.subtreeSpan(rel, np)
+	stage := r.Alloc(sub * per)
+	self := snapshot(r.site.Space, sendAddr, per)
+	r.site.Space.WriteAt(stage.Addr(), self, per)
+
+	// Receive children's subtrees (mask order), then send mine to parent.
+	for mask := 1; mask < np; mask <<= 1 {
+		if rel&mask != 0 {
+			parent := (rel - mask + root) % np
+			r.Send(stage.Addr(), sub*per, parent, tag)
+			break
+		}
+		childRel := rel + mask
+		if childRel < np {
+			childSub := r.subtreeSpan(childRel, np)
+			r.Recv(stage.Addr()+mem.Addr(mask*per), childSub*per, (childRel+root)%np, tag)
+		}
+	}
+
+	if r.rank == root {
+		// Unwrap relative ordering into absolute rank order.
+		for relBlk := 0; relBlk < np; relBlk++ {
+			abs := (relBlk + root) % np
+			d := r.site.Space.ReadAt(stage.Addr()+mem.Addr(relBlk*per), per)
+			r.site.Space.WriteAt(recvAddr+mem.Addr(abs*per), d, per)
+		}
+	}
+}
+
+// subtreeSpan returns the number of relative ranks in rel's binomial
+// subtree, clipped to np.
+func (r *Rank) subtreeSpan(rel, np int) int {
+	span := 1
+	for mask := 1; mask < np; mask <<= 1 {
+		if rel&mask != 0 {
+			break
+		}
+		span = mask << 1
+	}
+	if rel+span > np {
+		span = np - rel
+	}
+	if span < 1 {
+		span = 1
+	}
+	return span
+}
+
+// Scatter distributes per bytes per rank from root's sendAddr to every
+// rank's recvAddr (binomial tree, mirror of Gather).
+func (r *Rank) Scatter(sendAddr, recvAddr mem.Addr, per, root int) {
+	t0 := r.enter()
+	defer r.leave(t0)
+	np := r.Size()
+	tag := r.nextCollTag()
+	rel := (r.rank - root + np) % np
+
+	sub := r.subtreeSpan(rel, np)
+	stage := r.Alloc(sub * per)
+
+	if r.rank == root {
+		// Pack into relative order.
+		for relBlk := 0; relBlk < np; relBlk++ {
+			abs := (relBlk + root) % np
+			d := r.site.Space.ReadAt(sendAddr+mem.Addr(abs*per), per)
+			r.site.Space.WriteAt(stage.Addr()+mem.Addr(relBlk*per), d, per)
+		}
+	} else {
+		// Receive my subtree's blocks from the parent.
+		mask := 1
+		for rel&mask == 0 {
+			mask <<= 1
+		}
+		parent := (rel - mask + root) % np
+		r.Recv(stage.Addr(), sub*per, parent, tag)
+	}
+	// Forward children's shares (highest mask first, as in MPICH). Child
+	// masks come from the unclipped power-of-two subtree span.
+	p := 1
+	for mask := 1; mask < np; mask <<= 1 {
+		if rel&mask != 0 {
+			break
+		}
+		p = mask << 1
+	}
+	for mask := p >> 1; mask > 0; mask >>= 1 {
+		childRel := rel + mask
+		if childRel < np {
+			childSub := r.subtreeSpan(childRel, np)
+			r.Send(stage.Addr()+mem.Addr(mask*per), childSub*per, (childRel+root)%np, tag)
+		}
+	}
+	d := r.site.Space.ReadAt(stage.Addr(), per)
+	r.site.Space.WriteAt(recvAddr, d, per)
+}
+
+// Reduce sums count float64 values from sendAddr into root's recvAddr
+// (binomial tree; arithmetic only with payload-backed buffers).
+func (r *Rank) Reduce(sendAddr, recvAddr mem.Addr, count, root int) {
+	t0 := r.enter()
+	defer r.leave(t0)
+	np := r.Size()
+	tag := r.nextCollTag()
+	bytes := count * 8
+	rel := (r.rank - root + np) % np
+
+	acc := r.Alloc(bytes)
+	tmp := r.Alloc(bytes)
+	self := snapshot(r.site.Space, sendAddr, bytes)
+	r.site.Space.WriteAt(acc.Addr(), self, bytes)
+
+	for mask := 1; mask < np; mask <<= 1 {
+		if rel&mask != 0 {
+			parent := (rel - mask + root) % np
+			r.Send(acc.Addr(), bytes, parent, tag)
+			break
+		}
+		childRel := rel + mask
+		if childRel < np {
+			r.Recv(tmp.Addr(), bytes, (childRel+root)%np, tag)
+			r.reduceInto(acc.Addr(), tmp.Addr(), count)
+		}
+	}
+	if r.rank == root {
+		d := r.site.Space.ReadAt(acc.Addr(), bytes)
+		r.site.Space.WriteAt(recvAddr, d, bytes)
+	}
+}
+
+// Sendrecv posts a send and a receive and waits for both (MPI_Sendrecv).
+func (r *Rank) Sendrecv(sendAddr mem.Addr, sendSize, dst, sendTag int,
+	recvAddr mem.Addr, recvSize, src, recvTag int) {
+	sq := r.Isend(sendAddr, sendSize, dst, sendTag)
+	rq := r.Irecv(recvAddr, recvSize, src, recvTag)
+	r.WaitAll(sq, rq)
+}

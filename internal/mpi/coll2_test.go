@@ -1,0 +1,99 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestGatherCorrectness(t *testing.T) {
+	for _, np := range []int{2, 3, 4, 6, 8} {
+		for _, root := range []int{0, np - 1} {
+			np, root := np, root
+			t.Run(fmt.Sprintf("np%d_root%d", np, root), func(t *testing.T) {
+				const per = 512
+				runWorld(t, np, 1, func(r *Rank) {
+					send := r.Alloc(per)
+					recv := r.Alloc(np * per)
+					fill(r, send, byte(r.RankID()*10))
+					r.Gather(send.Addr(), recv.Addr(), per, root)
+					if r.RankID() == root {
+						for src := 0; src < np; src++ {
+							if recv.Bytes()[src*per] != byte(src*10) {
+								t.Errorf("block %d wrong: %d", src, recv.Bytes()[src*per])
+							}
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestScatterCorrectness(t *testing.T) {
+	for _, np := range []int{2, 3, 4, 6, 8} {
+		for _, root := range []int{0, 1} {
+			np, root := np, root
+			t.Run(fmt.Sprintf("np%d_root%d", np, root), func(t *testing.T) {
+				const per = 512
+				runWorld(t, np, 1, func(r *Rank) {
+					send := r.Alloc(np * per)
+					recv := r.Alloc(per)
+					if r.RankID() == root {
+						for dst := 0; dst < np; dst++ {
+							for i := 0; i < per; i++ {
+								send.Bytes()[dst*per+i] = byte(dst*20) + byte(i)
+							}
+						}
+					}
+					r.Scatter(send.Addr(), recv.Addr(), per, root)
+					want0 := byte(r.RankID() * 20)
+					wantLast := byte(r.RankID()*20 + per - 1)
+					if recv.Bytes()[0] != want0 || recv.Bytes()[per-1] != wantLast {
+						t.Errorf("rank %d got wrong share", r.RankID())
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, np := range []int{2, 3, 5, 8} {
+		np := np
+		t.Run(fmt.Sprint(np), func(t *testing.T) {
+			const count, root = 64, 0
+			runWorld(t, np, 1, func(r *Rank) {
+				send, recv := r.Alloc(count*8), r.Alloc(count*8)
+				for i := 0; i < count; i++ {
+					binary.LittleEndian.PutUint64(send.Bytes()[i*8:],
+						math.Float64bits(float64((r.RankID()+1)*(i+1))))
+				}
+				r.Reduce(send.Addr(), recv.Addr(), count, root)
+				if r.RankID() == root {
+					for i := 0; i < count; i++ {
+						got := math.Float64frombits(binary.LittleEndian.Uint64(recv.Bytes()[i*8:]))
+						want := float64(i+1) * float64(np*(np+1)) / 2
+						if math.Abs(got-want) > 1e-9 {
+							t.Errorf("elem %d = %v, want %v", i, got, want)
+							return
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestSendrecvExchanges(t *testing.T) {
+	runWorld(t, 2, 1, func(r *Rank) {
+		a, b := r.Alloc(256), r.Alloc(256)
+		fill(r, a, byte(100+r.RankID()))
+		peer := 1 - r.RankID()
+		r.Sendrecv(a.Addr(), 256, peer, 5, b.Addr(), 256, peer, 5)
+		if b.Bytes()[0] != byte(100+peer) {
+			t.Errorf("rank %d got %d", r.RankID(), b.Bytes()[0])
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package mpi
+
+import "repro/internal/mem"
+
+// Communicator-scoped collectives. These mirror the world-level operations
+// on Rank; ranks and message peers are translated through the member list.
+
+// Barrier blocks until all communicator members have entered
+// (dissemination).
+func (c *Comm) Barrier() {
+	r := c.r
+	t0 := r.enter()
+	defer r.leave(t0)
+	np := c.Size()
+	if np == 1 {
+		return
+	}
+	tag := c.nextTag()
+	zero := r.scratch(1)
+	for off := 1; off < np; off <<= 1 {
+		dst := c.World((c.myIdx + off) % np)
+		src := c.World((c.myIdx - off + np) % np)
+		sq := r.Isend(zero, 0, dst, tag)
+		rq := r.Irecv(zero, 0, src, tag)
+		r.waitFor(func() bool { return sq.done && rq.done })
+	}
+}
+
+// Bcast broadcasts [addr, addr+size) from comm-rank root (binomial tree).
+func (c *Comm) Bcast(addr mem.Addr, size, root int) {
+	r := c.r
+	t0 := r.enter()
+	defer r.leave(t0)
+	np := c.Size()
+	tag := c.nextTag()
+	if np == 1 {
+		return
+	}
+	rel := (c.myIdx - root + np) % np
+	mask := 1
+	for mask < np {
+		if rel&mask != 0 {
+			src := c.World((rel - mask + root) % np)
+			r.Recv(addr, size, src, tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < np {
+			dst := c.World((rel + mask + root) % np)
+			r.Send(addr, size, dst, tag)
+		}
+		mask >>= 1
+	}
+}
+
+// Ialltoall starts a nonblocking personalized all-to-all within the
+// communicator: per bytes from sendAddr+dst*per (dst in comm ranks) to each
+// member's recvAddr+me*per.
+func (c *Comm) Ialltoall(sendAddr, recvAddr mem.Addr, per int) *CollRequest {
+	r := c.r
+	tag := c.nextTag()
+	np, me := c.Size(), c.myIdx
+
+	self := snapshot(r.site.Space, sendAddr+mem.Addr(me*per), per)
+	r.proc.AdvanceBusy(r.w.Cl.CopyCost(per))
+	r.site.Space.WriteAt(recvAddr+mem.Addr(me*per), self, per)
+
+	reqs := make([]*Request, 0, 2*(np-1))
+	for i := 1; i < np; i++ {
+		src := (me - i + np) % np
+		reqs = append(reqs, r.Irecv(recvAddr+mem.Addr(src*per), per, c.World(src), tag))
+	}
+	for i := 1; i < np; i++ {
+		dst := (me + i) % np
+		reqs = append(reqs, r.Isend(sendAddr+mem.Addr(dst*per), per, c.World(dst), tag))
+	}
+	cr := &CollRequest{r: r}
+	cr.step = func() bool {
+		for _, q := range reqs {
+			if !q.done {
+				return false
+			}
+		}
+		return true
+	}
+	return r.addColl(cr)
+}
+
+// Alltoall is the blocking form of Ialltoall.
+func (c *Comm) Alltoall(sendAddr, recvAddr mem.Addr, per int) {
+	c.r.WaitColl(c.Ialltoall(sendAddr, recvAddr, per))
+}

@@ -1,0 +1,309 @@
+package mpi
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// Request is a nonblocking operation handle (MPI_Request).
+type Request struct {
+	r      *Rank
+	isRecv bool
+	addr   mem.Addr
+	size   int
+	peer   int // destination (send) or source-match (recv, AnySource ok)
+	tag    int
+	done   bool
+}
+
+// Done reports completion without progressing (see Test).
+func (q *Request) Done() bool { return q.done }
+
+// inMsg is the receive-side view of an incoming message.
+type inMsg struct {
+	kind     string // "eager", "shm", "rts"
+	src      int
+	tag      int
+	size     int
+	data     []byte     // eager payload (nil for size-only buffers)
+	srcSpace *mem.Space // shm: sender's space for the single-copy
+	srcAddr  mem.Addr   // shm, rts: source buffer address
+	sendReq  *Request   // shm, rts: sender's request to complete
+	rkey     verbs.Key  // rts: key for the RDMA read
+	srcCtx   *verbs.Ctx // sender's context (FIN destination, wakeups)
+}
+
+// Isend starts a nonblocking send of [addr, addr+size) to rank dst.
+func (r *Rank) Isend(addr mem.Addr, size, dst, tag int) *Request {
+	req := &Request{r: r, addr: addr, size: size, peer: dst, tag: tag}
+	cl := r.w.Cl
+	msg := &inMsg{src: r.rank, tag: tag, size: size, srcCtx: r.ctx}
+	dstRank := r.w.ranks[dst]
+
+	if dst == r.rank {
+		// Self-send: treat as shm with zero latency.
+		msg.kind = "shm"
+		msg.srcSpace, msg.srcAddr, msg.sendReq = r.site.Space, addr, req
+		r.deliverLocal(dstRank, msg, 0)
+		return req
+	}
+
+	if cl.SameNode(r.rank, dst) {
+		if size <= r.w.cfg.EagerThreshold {
+			// Copy-in/copy-out through a shared-memory slot; the send
+			// completes once the copy-in is done.
+			r.proc.AdvanceBusy(cl.CopyCost(size))
+			msg.kind = "eager"
+			msg.data = snapshot(r.site.Space, addr, size)
+			r.deliverLocal(dstRank, msg, cl.Cfg.ShmLatency)
+			req.done = true
+		} else {
+			// Large intra-node: single copy performed by the receiver at
+			// match time; the sender completes when the copy finishes.
+			msg.kind = "shm"
+			msg.srcSpace, msg.srcAddr, msg.sendReq = r.site.Space, addr, req
+			r.deliverLocal(dstRank, msg, cl.Cfg.ShmLatency)
+		}
+		return req
+	}
+
+	if size <= r.w.cfg.EagerThreshold {
+		// Eager: payload is copied into a pre-registered bounce buffer and
+		// shipped with the header; the buffer is immediately reusable.
+		r.proc.AdvanceBusy(cl.CopyCost(size))
+		msg.kind = "eager"
+		msg.data = snapshot(r.site.Space, addr, size)
+		r.ctx.PostSend(r.proc, dstRank.ctx, &verbs.Packet{
+			Kind: "mpi", Size: size + r.w.cfg.HeaderSize, Payload: msg,
+		})
+		req.done = true
+		return req
+	}
+
+	// Rendezvous (RGET): register the source buffer (through the IB
+	// registration cache) and send an RTS carrying the rkey; the receiver
+	// RDMA-reads the data and FINs back. The send completes when the FIN is
+	// processed — which requires this process to re-enter the library.
+	mr := r.registerCached(addr, size)
+	msg.kind = "rts"
+	msg.srcAddr, msg.rkey, msg.sendReq = addr, mr.RKey(), req
+	r.ctx.PostSend(r.proc, dstRank.ctx, &verbs.Packet{
+		Kind: "mpi", Size: r.w.cfg.HeaderSize, Payload: msg,
+	})
+	return req
+}
+
+// Irecv starts a nonblocking receive into [addr, addr+size) from src
+// (or AnySource) with the given tag (or AnyTag).
+func (r *Rank) Irecv(addr mem.Addr, size, src, tag int) *Request {
+	req := &Request{r: r, isRecv: true, addr: addr, size: size, peer: src, tag: tag}
+	// Check the unexpected queue first (arrival before post).
+	for i, m := range r.unexpected {
+		if matches(req, m) {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			r.handleMatch(req, m)
+			return req
+		}
+	}
+	r.posted = append(r.posted, req)
+	return req
+}
+
+// snapshot captures payload bytes if the buffer is backed.
+func snapshot(sp *mem.Space, addr mem.Addr, size int) []byte {
+	d := sp.ReadAt(addr, size)
+	if d == nil {
+		return nil
+	}
+	out := make([]byte, size)
+	copy(out, d)
+	return out
+}
+
+// registerCached returns an MR for [addr,size), registering on cache miss.
+func (r *Rank) registerCached(addr mem.Addr, size int) *verbs.MR {
+	mr, _ := r.regCache.GetOrCreate(0, addr, size, func() *verbs.MR {
+		return r.ctx.RegisterMR(r.proc, addr, size)
+	})
+	return mr
+}
+
+// deliverLocal schedules an intra-node (shared-memory) delivery.
+func (r *Rank) deliverLocal(dst *Rank, msg *inMsg, latency sim.Time) {
+	k := r.w.Cl.K
+	k.At(latency, func() {
+		dst.shmIn = append(dst.shmIn, msg)
+		dst.ctx.InboxCond.Broadcast()
+	})
+}
+
+func matches(req *Request, m *inMsg) bool {
+	if !req.isRecv {
+		return false
+	}
+	if req.peer != AnySource && req.peer != m.src {
+		return false
+	}
+	if req.tag != AnyTag && req.tag != m.tag {
+		return false
+	}
+	return true
+}
+
+// handleMatch completes the protocol for a matched (request, message) pair.
+// Runs in the receiver's process context.
+func (r *Rank) handleMatch(req *Request, m *inMsg) {
+	cl := r.w.Cl
+	switch m.kind {
+	case "eager":
+		r.proc.AdvanceBusy(cl.CopyCost(m.size))
+		r.site.Space.WriteAt(req.addr, m.data, m.size)
+		req.done = true
+	case "shm":
+		r.proc.AdvanceBusy(cl.CopyCost(m.size))
+		var payload []byte
+		if d := m.srcSpace.ReadAt(m.srcAddr, m.size); d != nil {
+			payload = d
+		}
+		r.site.Space.WriteAt(req.addr, payload, m.size)
+		req.done = true
+		m.sendReq.done = true
+		m.srcCtx.InboxCond.Broadcast() // wake the sender if it is waiting
+	case "rts":
+		// Rendezvous: RDMA-read the payload from the sender's buffer.
+		mr := r.registerCached(req.addr, req.size)
+		err := r.ctx.PostRead(r.proc, verbs.ReadOp{
+			LocalKey: mr.LKey(), LocalAddr: req.addr,
+			RemoteKey: m.rkey, RemoteAddr: m.srcAddr,
+			Size: m.size,
+			OnComplete: func(sim.Time) {
+				req.done = true
+				// FIN goes out the next time the receiver is inside the
+				// library (the HCA completed; the CPU must post the FIN).
+				r.deferred = append(r.deferred, func() {
+					r.ctx.PostSend(r.proc, m.srcCtx, &verbs.Packet{
+						Kind: "mpi", Size: r.w.cfg.HeaderSize,
+						Payload: &inMsg{kind: "fin", src: r.rank, sendReq: m.sendReq},
+					})
+				})
+				r.ctx.InboxCond.Broadcast()
+			},
+		})
+		if err != nil {
+			panic("mpi: rendezvous read failed: " + err.Error())
+		}
+	default:
+		panic("mpi: unknown message kind " + m.kind)
+	}
+}
+
+// dispatch routes one incoming message: match a posted receive or queue it
+// as unexpected. FINs complete the sender-side request directly.
+func (r *Rank) dispatch(m *inMsg) {
+	r.proc.AdvanceBusy(r.w.cfg.MatchCost)
+	if m.kind == "fin" {
+		m.sendReq.done = true
+		return
+	}
+	for i, req := range r.posted {
+		if matches(req, m) {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			r.handleMatch(req, m)
+			return
+		}
+	}
+	r.unexpected = append(r.unexpected, m)
+}
+
+// Progress drains arrived messages and advances collective schedules. It is
+// invoked by Test/Wait and the blocking operations — never asynchronously,
+// which is precisely the limitation the offload framework removes.
+func (r *Rank) Progress() {
+	for {
+		acted := false
+		for len(r.deferred) > 0 {
+			fns := r.deferred
+			r.deferred = nil
+			for _, fn := range fns {
+				fn()
+			}
+			acted = true
+		}
+		if len(r.shmIn) > 0 {
+			msgs := r.shmIn
+			r.shmIn = nil
+			for _, m := range msgs {
+				r.dispatch(m)
+			}
+			acted = true
+		}
+		for _, pkt := range r.ctx.PollInbox() {
+			r.dispatch(pkt.Payload.(*inMsg))
+			acted = true
+		}
+		if !acted {
+			break
+		}
+	}
+	r.progressColls()
+}
+
+// idle reports that no work is available without blocking.
+func (r *Rank) idle() bool {
+	return len(r.deferred) == 0 && len(r.shmIn) == 0 && r.ctx.InboxLen() == 0
+}
+
+// waitFor progresses until pred holds, blocking (in virtual time) while no
+// traffic is available.
+func (r *Rank) waitFor(pred func() bool) {
+	for {
+		r.Progress()
+		if pred() {
+			return
+		}
+		if r.idle() {
+			r.ctx.InboxCond.Wait(r.proc)
+		}
+	}
+}
+
+// Wait blocks until the request completes (MPI_Wait).
+func (r *Rank) Wait(req *Request) {
+	t0 := r.enter()
+	r.waitFor(func() bool { return req.done })
+	r.leave(t0)
+}
+
+// WaitAll blocks until every request completes (MPI_Waitall).
+func (r *Rank) WaitAll(reqs ...*Request) {
+	t0 := r.enter()
+	r.waitFor(func() bool {
+		for _, q := range reqs {
+			if !q.done {
+				return false
+			}
+		}
+		return true
+	})
+	r.leave(t0)
+}
+
+// Test progresses once and reports whether the request has completed
+// (MPI_Test).
+func (r *Rank) Test(req *Request) bool {
+	t0 := r.enter()
+	r.Progress()
+	r.leave(t0)
+	return req.done
+}
+
+// Send is the blocking send (MPI_Send).
+func (r *Rank) Send(addr mem.Addr, size, dst, tag int) {
+	r.Wait(r.Isend(addr, size, dst, tag))
+}
+
+// Recv is the blocking receive (MPI_Recv).
+func (r *Rank) Recv(addr mem.Addr, size, src, tag int) {
+	r.Wait(r.Irecv(addr, size, src, tag))
+}

@@ -1,0 +1,168 @@
+// Package mpi implements an MPI-like message-passing library on the
+// simulated cluster: ranks, eager and rendezvous point-to-point transfer
+// protocols with tag matching, blocking and nonblocking operations, and a
+// set of collectives.
+//
+// Its progress model reproduces the semantics the paper's Section II-A
+// criticizes: communication state machines advance only while the process
+// is inside an MPI call (Test/Wait/blocking operations). Data that arrives
+// while the application computes sits in the NIC until the next MPI call;
+// dependent steps of a pattern (e.g. the forward leg of a ring broadcast)
+// cannot start without CPU intervention. This is the "IntelMPI"-style host
+// baseline the offload framework is compared against.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mem"
+	"repro/internal/regcache"
+	"repro/internal/sim"
+	"repro/internal/verbs"
+)
+
+// Wildcards for Irecv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Config tunes the library.
+type Config struct {
+	// EagerThreshold is the largest message sent eagerly (copied through
+	// bounce buffers); larger messages use the rendezvous protocol.
+	EagerThreshold int
+	// HeaderSize is the wire size of a message header / control packet.
+	HeaderSize int
+	// MatchCost is the CPU cost of processing one incoming header.
+	MatchCost sim.Time
+	// RegCacheEntries bounds the per-peer IB registration cache
+	// (0 = unbounded).
+	RegCacheEntries int
+}
+
+// DefaultConfig returns production-typical settings (16 KiB eager cutoff).
+func DefaultConfig() Config {
+	return Config{
+		EagerThreshold:  16 << 10,
+		HeaderSize:      64,
+		MatchCost:       60 * sim.Nanosecond,
+		RegCacheEntries: 0,
+	}
+}
+
+// World is a communicator spanning all host processes of the cluster.
+type World struct {
+	Cl    *cluster.Cluster
+	cfg   Config
+	ranks []*Rank
+}
+
+// NewWorld creates the world communicator and its rank state (processes are
+// spawned by Launch).
+func NewWorld(cl *cluster.Cluster, cfg Config) *World {
+	w := &World{Cl: cl, cfg: cfg}
+	np := cl.Cfg.NP()
+	for i := 0; i < np; i++ {
+		site := cl.NewHostSite(cl.NodeOfRank(i), fmt.Sprintf("rank%d", i))
+		r := &Rank{
+			w:    w,
+			rank: i,
+			site: site,
+			ctx:  site.Ctx,
+			regCache: regcache.New[*verbs.MR](np, cfg.RegCacheEntries, func(mr *verbs.MR) {
+				mr.Deregister()
+			}),
+		}
+		w.ranks = append(w.ranks, r)
+	}
+	return w
+}
+
+// Config returns the library configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i's state (for inspection; its methods must only be
+// called from its own process).
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Launch spawns one simulated process per rank running main. Call
+// cluster.K.Run() afterwards to execute the program.
+func (w *World) Launch(main func(r *Rank)) {
+	for _, r := range w.ranks {
+		r := r
+		w.Cl.K.Spawn(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {
+			r.proc = p
+			main(r)
+		})
+	}
+}
+
+// Rank is the per-process MPI state. All methods must be called from the
+// rank's own simulated process.
+type Rank struct {
+	w    *World
+	rank int
+	site *cluster.Site
+	ctx  *verbs.Ctx
+	proc *sim.Proc
+
+	posted     []*Request // posted receives, in post order
+	unexpected []*inMsg   // arrived but unmatched messages
+	deferred   []func()   // actions queued by handlers for the next progress
+	shmIn      []*inMsg   // intra-node (shared-memory) arrivals
+	colls      []*CollRequest
+	collSeq    int // per-rank collective sequence number (tag separation)
+
+	regCache   *regcache.Cache[*verbs.MR]
+	scratchBuf *mem.Buffer
+	worldComm  *Comm
+	commSeq    int // sub-communicator creation counter (tag scoping)
+
+	// Stats
+	MPITime     sim.Time // time spent inside blocking/progress calls
+	ComputeTime sim.Time // time spent in Compute
+}
+
+// RankID returns the rank number.
+func (r *Rank) RankID() int { return r.rank }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return len(r.w.ranks) }
+
+// Proc returns the rank's simulated process.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Site returns the rank's hardware attachment point.
+func (r *Rank) Site() *cluster.Site { return r.site }
+
+// World returns the communicator.
+func (r *Rank) World() *World { return r.w }
+
+// Space returns the rank's address space.
+func (r *Rank) Space() *mem.Space { return r.site.Space }
+
+// Alloc allocates a buffer in the rank's space, payload-backed according to
+// the cluster configuration.
+func (r *Rank) Alloc(size int) *mem.Buffer {
+	return r.site.Space.Alloc(size, r.w.Cl.Cfg.BackedPayload)
+}
+
+// Compute models application computation for d: the CPU is busy and no MPI
+// progress happens (the crux of the paper's semantic-mismatch argument).
+func (r *Rank) Compute(d sim.Time) {
+	r.ComputeTime += d
+	r.proc.AdvanceBusy(d)
+}
+
+// Now returns the current virtual time.
+func (r *Rank) Now() sim.Time { return r.proc.Now() }
+
+// enter/leave bracket blocking MPI calls for the MPITime statistic.
+func (r *Rank) enter() sim.Time { return r.proc.Now() }
+
+func (r *Rank) leave(t0 sim.Time) { r.MPITime += r.proc.Now() - t0 }

@@ -1,0 +1,129 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestParseBasics(t *testing.T) {
+	spec, err := Parse(strings.NewReader(`
+# ring fragment
+0 send 1 64K 4
+1 recv 0 64K 4
+1 barrier
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.NRanks != 2 || len(spec.Ops) != 3 {
+		t.Fatalf("NRanks=%d ops=%d", spec.NRanks, len(spec.Ops))
+	}
+	if spec.Ops[0].Type != core.OpSend || spec.Ops[0].Size != 64<<10 || spec.Ops[0].Tag != 4 {
+		t.Fatalf("bad first op: %+v", spec.Ops[0])
+	}
+	if spec.Ops[2].Type != core.OpBarrier {
+		t.Fatal("barrier not parsed")
+	}
+}
+
+func TestParseSizeSuffixes(t *testing.T) {
+	cases := map[string]int{"512": 512, "4K": 4096, "4k": 4096, "2M": 2 << 20}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "-4", "0", "4X", "K"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Fatalf("ParseSize(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"x send 1 4K",   // bad rank
+		"0 frobnicate",  // unknown op
+		"0 send 1",      // missing size
+		"0 send -1 4K",  // bad peer
+		"0 send 1 4K q", // bad tag
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+}
+
+func TestValidateRejectsUnmatched(t *testing.T) {
+	if _, err := Parse(strings.NewReader("0 send 1 4K")); err == nil {
+		t.Fatal("unmatched send accepted")
+	}
+	if _, err := Parse(strings.NewReader("1 recv 0 4K")); err == nil {
+		t.Fatal("unmatched recv accepted")
+	}
+	if _, err := Parse(strings.NewReader("0 send 1 4K\n1 recv 0 8K")); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestPresetsValid(t *testing.T) {
+	for name, spec := range map[string]*Spec{
+		"ring":     Ring(5, 4096),
+		"alltoall": Alltoall(4, 4096),
+		"neighbor": Neighbor(6, 4096),
+	} {
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s preset invalid: %v", name, err)
+		}
+	}
+}
+
+func TestRunRingIntegrityAndOverlap(t *testing.T) {
+	spec := Ring(6, 64<<10)
+	res, err := Run(spec, RunOptions{
+		PPN: 2, Core: core.DefaultConfig(),
+		Compute: 2 * sim.Millisecond, Calls: 2, Backed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DataOK {
+		t.Fatal("data corrupted")
+	}
+	// The whole double-call run must take barely more than the compute
+	// (2 calls x 2ms): the ring progresses on the proxies.
+	if res.Last > 2*2*sim.Millisecond+500*sim.Microsecond {
+		t.Fatalf("ring not overlapped: finished at %v", res.Last)
+	}
+	if res.Stats.GroupHits == 0 {
+		t.Fatal("second call should hit the group cache")
+	}
+}
+
+func TestRunAlltoallBothMechanisms(t *testing.T) {
+	for _, mech := range []core.Mechanism{core.MechGVMI, core.MechStaging} {
+		cfg := core.DefaultConfig()
+		cfg.Mechanism = mech
+		res, err := Run(Alltoall(6, 8<<10), RunOptions{PPN: 3, Core: cfg, Backed: true})
+		if err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+		if !res.DataOK || res.DataChecks != 6*5 {
+			t.Fatalf("%v: integrity %v, checks %d", mech, res.DataOK, res.DataChecks)
+		}
+		if mech == core.MechStaging && res.Stats.StagedOps == 0 {
+			t.Fatal("staging mechanism did not stage")
+		}
+	}
+}
+
+func TestRunRejectsOversubscription(t *testing.T) {
+	if _, err := Run(Ring(16, 1024), RunOptions{Nodes: 1, PPN: 2, Core: core.DefaultConfig()}); err == nil {
+		t.Fatal("expected capacity error")
+	}
+}

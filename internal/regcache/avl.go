@@ -1,0 +1,167 @@
+package regcache
+
+import "repro/internal/mem"
+
+// key orders cache entries by (address, size), matching the paper's BST
+// "indexed by memory address ... queried using the address and size".
+type key struct {
+	addr mem.Addr
+	size int
+}
+
+func (a key) less(b key) bool {
+	if a.addr != b.addr {
+		return a.addr < b.addr
+	}
+	return a.size < b.size
+}
+
+// node is an AVL tree node. The tree is the second level of the cache
+// (the first level is the rank-indexed array).
+type node[V any] struct {
+	k           key
+	v           V
+	left, right *node[V]
+	height      int
+
+	// LRU chain links (per-rank).
+	prev, next *node[V]
+}
+
+func height[V any](n *node[V]) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix[V any](n *node[V]) *node[V] {
+	n.height = 1 + max(height(n.left), height(n.right))
+	switch bf := height(n.left) - height(n.right); {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+func rotateRight[V any](n *node[V]) *node[V] {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.height = 1 + max(height(n.left), height(n.right))
+	l.height = 1 + max(height(l.left), height(l.right))
+	return l
+}
+
+func rotateLeft[V any](n *node[V]) *node[V] {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.height = 1 + max(height(n.left), height(n.right))
+	r.height = 1 + max(height(r.left), height(r.right))
+	return r
+}
+
+func insert[V any](n *node[V], nn *node[V]) *node[V] {
+	if n == nil {
+		nn.height = 1
+		return nn
+	}
+	switch {
+	case nn.k.less(n.k):
+		n.left = insert(n.left, nn)
+	case n.k.less(nn.k):
+		n.right = insert(n.right, nn)
+	default:
+		n.v = nn.v // replace in place
+		return n
+	}
+	return fix(n)
+}
+
+func find[V any](n *node[V], k key) *node[V] {
+	for n != nil {
+		switch {
+		case k.less(n.k):
+			n = n.left
+		case n.k.less(k):
+			n = n.right
+		default:
+			return n
+		}
+	}
+	return nil
+}
+
+// remove deletes the node with key k. Node identity is preserved for all
+// surviving entries (the successor is spliced, not copied), so the LRU chain
+// maintained by the cache never needs relinking here.
+func remove[V any](n *node[V], k key) *node[V] {
+	if n == nil {
+		return nil
+	}
+	switch {
+	case k.less(n.k):
+		n.left = remove(n.left, k)
+	case n.k.less(k):
+		n.right = remove(n.right, k)
+	default:
+		if n.left == nil {
+			return n.right
+		}
+		if n.right == nil {
+			return n.left
+		}
+		// Detach the in-order successor struct and splice it in place of n.
+		var s *node[V]
+		n.right, s = detachMin(n.right)
+		s.left, s.right = n.left, n.right
+		n.left, n.right = nil, nil
+		return fix(s)
+	}
+	return fix(n)
+}
+
+// detachMin removes and returns the minimum node of the subtree.
+func detachMin[V any](n *node[V]) (rest, min *node[V]) {
+	if n.left == nil {
+		return n.right, n
+	}
+	n.left, min = detachMin(n.left)
+	return fix(n), min
+}
+
+func treeSize[V any](n *node[V]) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + treeSize(n.left) + treeSize(n.right)
+}
+
+// checkAVL verifies BST ordering and AVL balance; used by tests.
+func checkAVL[V any](n *node[V], lo, hi *key) bool {
+	if n == nil {
+		return true
+	}
+	if lo != nil && !lo.less(n.k) {
+		return false
+	}
+	if hi != nil && !n.k.less(*hi) {
+		return false
+	}
+	if bf := height(n.left) - height(n.right); bf < -1 || bf > 1 {
+		return false
+	}
+	if n.height != 1+max(height(n.left), height(n.right)) {
+		return false
+	}
+	return checkAVL(n.left, lo, &n.k) && checkAVL(n.right, &n.k, hi)
+}

@@ -1,0 +1,187 @@
+package shmem
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// runPEs builds a SHMEM world and runs main on every PE.
+func runPEs(t *testing.T, nodes, ppn int, heap int, main func(pe *PE)) *core.Framework {
+	t.Helper()
+	ccfg := cluster.DefaultConfig(nodes, ppn)
+	cl := cluster.New(ccfg)
+	sites := make([]*cluster.Site, ccfg.NP())
+	for i := range sites {
+		sites[i] = cl.NewHostSite(cl.NodeOfRank(i), fmt.Sprintf("pe%d", i))
+	}
+	fw := core.New(cl, core.DefaultConfig(), sites)
+	fw.Start()
+	w := New(fw, sites, heap)
+	for i := 0; i < w.NPEs(); i++ {
+		pe := w.PE(i)
+		cl.K.Spawn(fmt.Sprintf("pe%d", i), func(p *sim.Proc) {
+			pe.Bind(p)
+			main(pe)
+		})
+	}
+	cl.K.Run()
+	if len(cl.K.Deadlocked) > 0 {
+		t.Fatalf("deadlocked: %d", len(cl.K.Deadlocked))
+	}
+	return fw
+}
+
+func TestPutDeliversBytes(t *testing.T) {
+	const n = 8 << 10
+	var target *PE
+	var dstOff SymAddr
+	runPEs(t, 2, 1, 64<<10, func(pe *PE) {
+		src := pe.Malloc(n)
+		dst := pe.Malloc(n)
+		if pe.ID() == 0 {
+			d := pe.Bytes(src, n)
+			for i := range d {
+				d[i] = byte(i * 3)
+			}
+			pe.Put(dst, src, n, 1)
+			pe.Quiet()
+		} else {
+			target, dstOff = pe, dst
+		}
+	})
+	got := target.Bytes(dstOff, n)
+	for i := range got {
+		if got[i] != byte(i*3) {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], byte(i*3))
+		}
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	const n = 4 << 10
+	results := make(map[int][]byte)
+	runPEs(t, 2, 2, 64<<10, func(pe *PE) {
+		src := pe.Malloc(n)
+		dst := pe.Malloc(n)
+		d := pe.Bytes(src, n)
+		for i := range d {
+			d[i] = byte(pe.ID()*40 + i)
+		}
+		// Everyone gets from its right neighbour.
+		target := (pe.ID() + 1) % pe.w.NPEs()
+		pe.Get(dst, src, n, target)
+		pe.Quiet()
+		results[pe.ID()] = append([]byte(nil), pe.Bytes(dst, n)...)
+	})
+	for id, got := range results {
+		want := make([]byte, n)
+		tgt := (id + 1) % 4
+		for i := range want {
+			want[i] = byte(tgt*40 + i)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("PE %d got wrong data from %d", id, tgt)
+		}
+	}
+}
+
+func TestGetDoesNotInvolveTargetCPU(t *testing.T) {
+	// The target PE computes the whole time; the initiator's Get must still
+	// complete (the target's proxy serves it).
+	const n = 64 << 10
+	var gotAt, computeEnd sim.Time
+	runPEs(t, 2, 1, 128<<10, func(pe *PE) {
+		src := pe.Malloc(n)
+		dst := pe.Malloc(n)
+		if pe.ID() == 1 {
+			d := pe.Bytes(src, n)
+			for i := range d {
+				d[i] = 0x7A
+			}
+			pe.Compute(10 * sim.Millisecond) // never calls the library
+			computeEnd = pe.host.Proc().Now()
+			return
+		}
+		pe.Compute(100 * sim.Microsecond) // let PE 1 fill its buffer
+		pe.Get(dst, src, n, 1)
+		pe.Quiet()
+		gotAt = pe.host.Proc().Now()
+		if pe.Bytes(dst, n)[100] != 0x7A {
+			t.Error("get payload wrong")
+		}
+	})
+	if gotAt >= computeEnd {
+		t.Fatalf("Get completed at %v, only after the target stopped computing (%v)", gotAt, computeEnd)
+	}
+}
+
+func TestPutOverlapsCompute(t *testing.T) {
+	const n = 1 << 20
+	var waited sim.Time
+	runPEs(t, 2, 1, 2<<20, func(pe *PE) {
+		a := pe.Malloc(n)
+		if pe.ID() == 0 {
+			pe.Put(a, a, n, 1)
+			pe.Compute(5 * sim.Millisecond)
+			t0 := pe.host.Proc().Now()
+			pe.Quiet()
+			waited = pe.host.Proc().Now() - t0
+		}
+	})
+	if waited > 50*sim.Microsecond {
+		t.Fatalf("Quiet blocked %v; put should have completed during compute", waited)
+	}
+}
+
+func TestMallocSymmetricAndBounded(t *testing.T) {
+	runPEs(t, 1, 2, 4096, func(pe *PE) {
+		a := pe.Malloc(100)
+		b := pe.Malloc(100)
+		if a != 0 || b != 128 { // 64-byte aligned
+			t.Errorf("allocation offsets %d, %d", a, b)
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("expected heap exhaustion panic")
+			}
+		}()
+		pe.Malloc(1 << 20)
+	})
+}
+
+func TestWindowRangeChecked(t *testing.T) {
+	runPEs(t, 2, 1, 4096, func(pe *PE) {
+		if pe.ID() != 0 {
+			return
+		}
+		a := pe.Malloc(128)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected out-of-window panic")
+			}
+		}()
+		pe.Put(a, a, 1<<20, 1)
+	})
+}
+
+func TestOneSidedUsesSingleControlMessage(t *testing.T) {
+	const n = 4 << 10
+	fw := runPEs(t, 2, 1, 64<<10, func(pe *PE) {
+		a := pe.Malloc(n)
+		if pe.ID() == 0 {
+			pe.Put(a, a, n, 1)
+			pe.Quiet()
+		}
+	})
+	s := fw.Stats()
+	// One put = one control message to a proxy (plus zero RTR) and one
+	// RDMA write; FINs flow proxy->host and are not proxy-handled.
+	if s.CtrlMsgs != 1 || s.RDMAWrites != 1 {
+		t.Fatalf("ctrl=%d writes=%d, want 1/1 (one-sided must be a single message)", s.CtrlMsgs, s.RDMAWrites)
+	}
+}

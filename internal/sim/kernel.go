@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (seq), which makes runs deterministic.
+type event struct {
+	at   Time
+	seq  uint64
+	fire func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is the discrete-event simulation engine. Create one with NewKernel,
+// spawn processes with Spawn, schedule raw callbacks with At, then call Run.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	procs   []*Proc
+	live    int   // spawned but not finished
+	running *Proc // process currently executing, nil in handler context
+	yield   chan struct{}
+
+	// Deadlocked is filled by Run when it returns with processes still
+	// blocked and no events pending.
+	Deadlocked []*Proc
+}
+
+// NewKernel returns an empty kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run at now+delay in kernel (handler) context.
+// A negative delay is treated as zero.
+func (k *Kernel) At(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	k.schedule(k.now+delay, fn)
+}
+
+func (k *Kernel) schedule(at Time, fn func()) {
+	k.seq++
+	heap.Push(&k.events, &event{at: at, seq: k.seq, fire: fn})
+}
+
+// Spawn creates a new simulated process that will begin executing fn at the
+// current virtual time. fn runs in its own goroutine but only while the
+// kernel has handed it control.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     len(k.procs),
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		<-p.resume
+		fn(p)
+		p.state = procDone
+		k.live--
+		k.yield <- struct{}{}
+	}()
+	k.schedule(k.now, func() { k.dispatch(p) })
+	return p
+}
+
+// dispatch hands control to p until it blocks or finishes.
+func (k *Kernel) dispatch(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	p.state = procRunning
+	k.running = p
+	p.resume <- struct{}{}
+	<-k.yield
+	k.running = nil
+}
+
+// Run executes events until the queue is empty or until all processes have
+// finished. It returns the final virtual time. If processes remain blocked
+// with no pending events, they are reported in k.Deadlocked.
+func (k *Kernel) Run() Time {
+	for k.events.Len() > 0 {
+		ev := heap.Pop(&k.events).(*event)
+		if ev.at < k.now {
+			panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", ev.at, k.now))
+		}
+		k.now = ev.at
+		ev.fire()
+	}
+	if k.live > 0 {
+		for _, p := range k.procs {
+			if p.state == procBlocked && !p.daemon {
+				k.Deadlocked = append(k.Deadlocked, p)
+			}
+		}
+	}
+	return k.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then stops. Pending
+// events beyond the deadline remain queued; the clock is advanced to the
+// deadline. It returns the number of events fired.
+func (k *Kernel) RunUntil(deadline Time) int {
+	fired := 0
+	for k.events.Len() > 0 && k.events[0].at <= deadline {
+		ev := heap.Pop(&k.events).(*event)
+		k.now = ev.at
+		ev.fire()
+		fired++
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return fired
+}
+
+// Pending reports the number of queued events.
+func (k *Kernel) Pending() int { return k.events.Len() }
+
+// Live reports the number of spawned processes that have not finished.
+func (k *Kernel) Live() int { return k.live }
+
+// Procs returns all processes ever spawned on this kernel.
+func (k *Kernel) Procs() []*Proc { return k.procs }

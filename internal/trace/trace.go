@@ -1,0 +1,104 @@
+// Package trace records per-entity event timelines from a simulation run —
+// the machine-readable version of the paper's Figure 1, which contrasts how
+// the host CPU, the HCA and the DPU proxies progress a dependent
+// communication pattern under the three designs.
+//
+// A *Log is attached to cluster.Config; all Add methods are nil-safe, so
+// tracing costs nothing when disabled. Components record coarse protocol
+// events (RTS sent, pair matched, RDMA posted/completed, FIN, group entry
+// executed); the Timeline renderer prints them chronologically with one
+// column per entity class.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     sim.Time
+	Entity string // e.g. "rank2", "proxy1", "hca0"
+	Action string // e.g. "RTS", "match", "write-post", "write-done", "FIN"
+	Detail string
+}
+
+// Log collects events. The zero value is unusable; use New. A nil *Log is
+// valid and discards everything.
+type Log struct {
+	events []Event
+	limit  int
+}
+
+// New creates a log that keeps at most limit events (0 = unbounded).
+func New(limit int) *Log {
+	return &Log{limit: limit}
+}
+
+// Add records an event; nil-safe.
+func (l *Log) Add(at sim.Time, entity, action, detail string) {
+	if l == nil {
+		return
+	}
+	if l.limit > 0 && len(l.events) >= l.limit {
+		return
+	}
+	l.events = append(l.events, Event{At: at, Entity: entity, Action: action, Detail: detail})
+}
+
+// Enabled reports whether events are being recorded; nil-safe.
+func (l *Log) Enabled() bool { return l != nil }
+
+// Events returns the recorded events in chronological order (stable for
+// equal timestamps).
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	out := append([]Event(nil), l.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len reports the number of recorded events; nil-safe.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Filter returns events whose entity has the given prefix.
+func (l *Log) Filter(entityPrefix string) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if strings.HasPrefix(e.Entity, entityPrefix) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Timeline renders the log as an aligned chronological listing:
+//
+//	12.50us  rank0   send-offload   dst=1 64K tag=4
+//	13.20us  proxy0  RTS            from rank0
+func (l *Log) Timeline(w io.Writer) {
+	events := l.Events()
+	entW, actW := 6, 6
+	for _, e := range events {
+		if len(e.Entity) > entW {
+			entW = len(e.Entity)
+		}
+		if len(e.Action) > actW {
+			actW = len(e.Action)
+		}
+	}
+	for _, e := range events {
+		fmt.Fprintf(w, "%12s  %-*s  %-*s  %s\n", e.At, entW, e.Entity, actW, e.Action, e.Detail)
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(1, "x", "y", "z")
+	if l.Enabled() || l.Len() != 0 || l.Events() != nil {
+		t.Fatal("nil log misbehaves")
+	}
+}
+
+func TestAddAndOrdering(t *testing.T) {
+	l := New(0)
+	l.Add(30, "b", "act", "")
+	l.Add(10, "a", "act", "")
+	l.Add(30, "a", "first-at-30", "") // same time: stable order
+	ev := l.Events()
+	if len(ev) != 3 || ev[0].At != 10 || ev[1].Entity != "b" || ev[2].Action != "first-at-30" {
+		t.Fatalf("ordering wrong: %+v", ev)
+	}
+}
+
+func TestLimitCaps(t *testing.T) {
+	l := New(2)
+	for i := 0; i < 5; i++ {
+		l.Add(sim.Time(i), "e", "a", "")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestFilterAndTimeline(t *testing.T) {
+	l := New(0)
+	l.Add(1, "rank0", "Send_Offload", "dst=1")
+	l.Add(2, "proxy0", "rts", "")
+	l.Add(3, "rank1", "FIN", "req=1")
+	if got := l.Filter("rank"); len(got) != 2 {
+		t.Fatalf("Filter = %d events", len(got))
+	}
+	var sb strings.Builder
+	l.Timeline(&sb)
+	out := sb.String()
+	for _, want := range []string{"rank0", "Send_Offload", "proxy0", "FIN"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}

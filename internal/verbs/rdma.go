@@ -1,0 +1,153 @@
+package verbs
+
+import (
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// WriteOp describes one RDMA-write work request.
+type WriteOp struct {
+	LocalKey   Key      // lkey covering the source range
+	LocalAddr  mem.Addr // source address (in the lkey's space)
+	RemoteKey  Key      // rkey covering the destination range
+	RemoteAddr mem.Addr // destination address
+	Size       int
+
+	// OnLocalComplete fires (handler context) when the sender endpoint has
+	// finished injecting the message (CQE on the posting side).
+	OnLocalComplete func(at sim.Time)
+	// OnRemoteComplete fires (handler context) when the data has landed in
+	// the destination memory.
+	OnRemoteComplete func(at sim.Time)
+	// Notify, if non-nil, is delivered into the destination context's inbox
+	// with the data (RDMA write with immediate).
+	Notify *Packet
+}
+
+// PostWrite posts an RDMA write on behalf of p through c's endpoint.
+// Data is read from the lkey's backing space (which, for cross-GVMI mkeys,
+// is a *host* space even though c lives on the DPU) and written into the
+// rkey's space. Both keys are validated like an HCA would.
+func (c *Ctx) PostWrite(p *sim.Proc, op WriteOp) error {
+	src, err := c.reg.lookupKey(op.LocalKey, op.LocalAddr, op.Size)
+	if err != nil {
+		return err
+	}
+	dst, err := c.reg.lookupKey(op.RemoteKey, op.RemoteAddr, op.Size)
+	if err != nil {
+		return err
+	}
+	p.AdvanceBusy(c.reg.costs.PostWR)
+
+	var payload []byte
+	if d := src.space.ReadAt(op.LocalAddr, op.Size); d != nil {
+		payload = make([]byte, op.Size)
+		copy(payload, d)
+	}
+	k := c.reg.f.Kernel()
+	dstCtx := dst.ctx
+	txDone, _ := c.reg.f.Transfer(c.ep, dstCtx.ep, op.Size+c.reg.costs.RDMAHdr, func() {
+		dst.space.WriteAt(op.RemoteAddr, payload, op.Size)
+		if op.Notify != nil {
+			dstCtx.deliver(op.Notify)
+		}
+		if op.OnRemoteComplete != nil {
+			op.OnRemoteComplete(k.Now())
+		}
+	})
+	if op.OnLocalComplete != nil {
+		k.At(txDone-k.Now(), func() { op.OnLocalComplete(k.Now()) })
+	}
+	return nil
+}
+
+// ReadOp describes one RDMA-read work request.
+type ReadOp struct {
+	LocalKey   Key      // lkey covering the destination range (local)
+	LocalAddr  mem.Addr // where fetched data lands
+	RemoteKey  Key      // rkey covering the remote source
+	RemoteAddr mem.Addr
+	Size       int
+
+	// OnComplete fires when the fetched data has landed locally.
+	OnComplete func(at sim.Time)
+}
+
+// PostRead posts an RDMA read: a small request travels to the remote
+// endpoint, whose HCA streams the data back without remote CPU involvement.
+func (c *Ctx) PostRead(p *sim.Proc, op ReadOp) error {
+	dst, err := c.reg.lookupKey(op.LocalKey, op.LocalAddr, op.Size)
+	if err != nil {
+		return err
+	}
+	src, err := c.reg.lookupKey(op.RemoteKey, op.RemoteAddr, op.Size)
+	if err != nil {
+		return err
+	}
+	p.AdvanceBusy(c.reg.costs.PostWR)
+
+	k := c.reg.f.Kernel()
+	srcCtx := src.ctx
+	// Request packet to the remote HCA.
+	c.reg.f.Transfer(c.ep, srcCtx.ep, c.reg.costs.ReadReqLen, func() {
+		// Remote HCA responds autonomously with the data.
+		var payload []byte
+		if d := src.space.ReadAt(op.RemoteAddr, op.Size); d != nil {
+			payload = make([]byte, op.Size)
+			copy(payload, d)
+		}
+		c.reg.f.Transfer(srcCtx.ep, c.ep, op.Size+c.reg.costs.RDMAHdr, func() {
+			dst.space.WriteAt(op.LocalAddr, payload, op.Size)
+			if op.OnComplete != nil {
+				op.OnComplete(k.Now())
+			}
+		})
+	})
+	return nil
+}
+
+// Packet is a two-sided control message (RTS/RTR/FIN, rendezvous handshakes,
+// eager data...). Payload stays an opaque Go value; Size is what travels on
+// the wire.
+type Packet struct {
+	From    *Ctx
+	Kind    string
+	Size    int
+	Payload interface{}
+	Data    []byte // optional eager payload bytes
+}
+
+// PostSend transmits a control packet to dst's inbox. The receiving process
+// is not involved until it drains its inbox (PollInbox); arrival only
+// signals dst.InboxCond.
+func (c *Ctx) PostSend(p *sim.Proc, dst *Ctx, pkt *Packet) {
+	pkt.From = c
+	p.AdvanceBusy(c.reg.costs.PostWR)
+	c.reg.f.Transfer(c.ep, dst.ep, pkt.Size, func() { dst.deliver(pkt) })
+}
+
+// deliver appends to the inbox in handler context.
+func (c *Ctx) deliver(pkt *Packet) {
+	c.inbox = append(c.inbox, pkt)
+	c.InboxCond.Broadcast()
+}
+
+// PollInbox drains and returns all packets that have arrived.
+func (c *Ctx) PollInbox() []*Packet {
+	if len(c.inbox) == 0 {
+		return nil
+	}
+	pkts := c.inbox
+	c.inbox = nil
+	return pkts
+}
+
+// InboxLen reports queued packets without draining.
+func (c *Ctx) InboxLen() int { return len(c.inbox) }
+
+// AwaitInbox blocks p until at least one packet is queued.
+func (c *Ctx) AwaitInbox(p *sim.Proc) {
+	for len(c.inbox) == 0 {
+		c.InboxCond.Wait(p)
+	}
+}

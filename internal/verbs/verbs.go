@@ -1,0 +1,185 @@
+// Package verbs models an InfiniBand-verbs-like NIC interface for the
+// simulated cluster: protection-domain contexts, memory-region registration
+// with lkey/rkey generation and a page-granular cost model, one-sided RDMA
+// write/read, and two-sided control-message send/receive.
+//
+// Data really moves: RDMA operations copy bytes between simulated address
+// spaces when buffers are payload-backed, so end-to-end integrity is
+// testable. All CPU-side costs (registration, posting a work request) are
+// charged to the posting process; wire costs are charged to the fabric
+// endpoints.
+package verbs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Key is an lkey/rkey handle returned by registration.
+type Key uint32
+
+// CostConfig models the CPU costs of verbs operations.
+type CostConfig struct {
+	RegBase    sim.Time // fixed cost of ibv_reg_mr
+	RegPerPage sim.Time // additional cost per pinned page
+	PageSize   int
+	PostWR     sim.Time // CPU cost to post one work request
+	RDMAHdr    int      // wire header bytes added to each RDMA op
+	ReadReqLen int      // wire size of an RDMA-read request
+}
+
+// DefaultCosts returns costs loosely calibrated to ConnectX-6-class
+// hardware: ~2us base registration plus ~0.25us/page, ~80ns per posted WR.
+func DefaultCosts() CostConfig {
+	return CostConfig{
+		RegBase:    2 * sim.Microsecond,
+		RegPerPage: 250 * sim.Nanosecond,
+		PageSize:   4096,
+		PostWR:     80 * sim.Nanosecond,
+		RDMAHdr:    30,
+		ReadReqLen: 30,
+	}
+}
+
+// RegCost returns the registration cost for a region of size bytes.
+func (c CostConfig) RegCost(size int) sim.Time {
+	pages := (size + c.PageSize - 1) / c.PageSize
+	if pages < 1 {
+		pages = 1
+	}
+	return c.RegBase + sim.Time(pages)*c.RegPerPage
+}
+
+// Registry is the cluster-wide key table (stands in for the HCA's MTT/MPT).
+type Registry struct {
+	f       *fabric.Fabric
+	costs   CostConfig
+	nextKey Key
+	mrs     map[Key]*MR
+
+	// Stats
+	Registrations int64
+	RegTime       sim.Time
+}
+
+// NewRegistry creates the key table for one simulation.
+func NewRegistry(f *fabric.Fabric, costs CostConfig) *Registry {
+	return &Registry{f: f, costs: costs, nextKey: 100, mrs: make(map[Key]*MR)}
+}
+
+// Costs returns the registry's cost configuration.
+func (r *Registry) Costs() CostConfig { return r.costs }
+
+// Fabric returns the underlying fabric.
+func (r *Registry) Fabric() *fabric.Fabric { return r.f }
+
+// Ctx is a per-process verbs context: the process's protection domain,
+// address space, and the endpoint its work requests are injected through.
+type Ctx struct {
+	reg   *Registry
+	name  string
+	space *mem.Space
+	ep    *fabric.Endpoint
+
+	inbox     []*Packet
+	InboxCond sim.Cond
+}
+
+// NewCtx opens a verbs context for a process whose memory is space and whose
+// NIC port is ep.
+func (r *Registry) NewCtx(name string, space *mem.Space, ep *fabric.Endpoint) *Ctx {
+	return &Ctx{reg: r, name: name, space: space, ep: ep}
+}
+
+// Name returns the context's diagnostic name.
+func (c *Ctx) Name() string { return c.name }
+
+// Space returns the context's address space.
+func (c *Ctx) Space() *mem.Space { return c.space }
+
+// Endpoint returns the context's fabric port.
+func (c *Ctx) Endpoint() *fabric.Endpoint { return c.ep }
+
+// Registry returns the owning registry.
+func (c *Ctx) Registry() *Registry { return c.reg }
+
+// MR is a registered memory region.
+type MR struct {
+	ctx   *Ctx // protection domain owner (whose endpoint posts with lkey)
+	space *mem.Space
+	addr  mem.Addr
+	size  int
+	lkey  Key
+	rkey  Key
+}
+
+// Addr returns the region's base address.
+func (m *MR) Addr() mem.Addr { return m.addr }
+
+// Size returns the region's length.
+func (m *MR) Size() int { return m.size }
+
+// LKey returns the local access key.
+func (m *MR) LKey() Key { return m.lkey }
+
+// RKey returns the remote access key.
+func (m *MR) RKey() Key { return m.rkey }
+
+// Ctx returns the owning context.
+func (m *MR) Ctx() *Ctx { return m.ctx }
+
+var (
+	// ErrBadKey is returned when a key does not resolve to a region.
+	ErrBadKey = errors.New("verbs: unknown key")
+	// ErrOutOfRange is returned when an access exceeds a region's bounds.
+	ErrOutOfRange = errors.New("verbs: access outside registered region")
+)
+
+// RegisterMR pins [addr, addr+size) in c's space, charging the registration
+// cost to p. It corresponds to ibv_reg_mr.
+func (c *Ctx) RegisterMR(p *sim.Proc, addr mem.Addr, size int) *MR {
+	cost := c.reg.costs.RegCost(size)
+	c.reg.Registrations++
+	c.reg.RegTime += cost
+	p.AdvanceBusy(cost)
+	return c.reg.insertMR(c, c.space, addr, size)
+}
+
+// insertMR adds a region to the key table without charging time (used by
+// RegisterMR and by gvmi cross-registration, which has its own cost model).
+func (r *Registry) insertMR(ctx *Ctx, space *mem.Space, addr mem.Addr, size int) *MR {
+	r.nextKey += 2
+	mr := &MR{ctx: ctx, space: space, addr: addr, size: size, lkey: r.nextKey, rkey: r.nextKey + 1}
+	r.mrs[mr.lkey] = mr
+	r.mrs[mr.rkey] = mr
+	return mr
+}
+
+// InsertForeignMR registers a region owned by ctx but backed by another
+// process's space. This is the primitive cross-GVMI builds on: the returned
+// MR acts as an lkey for ctx while sourcing data from space.
+func (r *Registry) InsertForeignMR(ctx *Ctx, space *mem.Space, addr mem.Addr, size int) *MR {
+	return r.insertMR(ctx, space, addr, size)
+}
+
+// Deregister removes the region from the key table (ibv_dereg_mr).
+func (m *MR) Deregister() {
+	delete(m.ctx.reg.mrs, m.lkey)
+	delete(m.ctx.reg.mrs, m.rkey)
+}
+
+// lookupKey resolves a key and validates the access range.
+func (r *Registry) lookupKey(key Key, addr mem.Addr, size int) (*MR, error) {
+	mr, ok := r.mrs[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadKey, key)
+	}
+	if addr < mr.addr || int(addr-mr.addr)+size > mr.size {
+		return nil, fmt.Errorf("%w: [%d,+%d) not in [%d,+%d)", ErrOutOfRange, addr, size, mr.addr, mr.size)
+	}
+	return mr, nil
+}
