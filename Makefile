@@ -1,0 +1,25 @@
+# Repro build/test entry points. `make check` is the full gate: static
+# analysis, a clean build, and the test suite under the race detector.
+
+GO ?= go
+
+.PHONY: all build test vet race check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./internal/bench/

@@ -6,7 +6,7 @@
 //	offloadbench <figure> [flags]
 //
 // Figures: fig2 fig3 fig4 fig5 fig11 fig12 fig13 fig14 fig15 fig16a fig16b
-// fig16c fig17 ablation all
+// fig16c fig17 ablation chaos all
 //
 // Defaults are scaled to finish in minutes on a laptop (fewer iterations
 // and, for the applications, a reduced PPN); fig17 is the slowest at
@@ -38,12 +38,15 @@ func main() {
 		full   = fs.Bool("full", false, "paper-scale parameters (slow)")
 		memGB  = fs.Int("memgb", 0, "HPL memory per node in GB (0 = default)")
 		nb     = fs.Int("nb", 256, "HPL block size")
+		seed   = fs.Int64("seed", 42, "chaos fault-injection seed")
+		size   = fs.Int("size", 32<<10, "chaos message size in bytes")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 
-	p := params{ppn: *ppn, iters: *iters, warmup: *warmup, full: *full, memGB: *memGB, nb: *nb}
+	p := params{ppn: *ppn, iters: *iters, warmup: *warmup, full: *full, memGB: *memGB, nb: *nb,
+		seed: *seed, size: *size}
 	out := os.Stdout
 
 	run := func(name string) {
@@ -90,6 +93,8 @@ func main() {
 			figures.ExtBF3(4, p.a2aPPN(), p.a2aSizes(), *warmup, p.it(2)).Fprint(out)
 		case "ext-allgather":
 			figures.ExtIallgather(4, p.a2aPPN(), p.a2aSizes(), *warmup, p.it(2)).Fprint(out)
+		case "chaos":
+			figures.FigChaos(2, p.a2aPPN(), p.seed, figures.ChaosRates, p.size, *warmup, p.it(2)).Fprint(out)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
 			usage()
@@ -99,7 +104,7 @@ func main() {
 
 	if fig == "all" {
 		for _, name := range []string{"fig2", "fig3", "fig4", "fig5", "fig11", "fig12",
-			"fig13", "fig14", "fig15", "fig16a", "fig16b", "fig16c", "fig17", "ablation", "ext-bf3", "ext-allgather"} {
+			"fig13", "fig14", "fig15", "fig16a", "fig16b", "fig16c", "fig17", "ablation", "ext-bf3", "ext-allgather", "chaos"} {
 			run(name)
 		}
 		return
@@ -113,6 +118,8 @@ type params struct {
 	ppn, iters, warmup int
 	full               bool
 	memGB, nb          int
+	seed               int64
+	size               int
 }
 
 // it picks the iteration count.
@@ -213,7 +220,8 @@ figures:
   ablation design-choice ablations (caches, mechanism, proxies)
   ext-bf3  future-work extension: BlueField-3 + NDR platform
   ext-allgather  Iallgather (ref [9] workload) across schemes
+  chaos    Ialltoall under fault injection (rates 0, 1e-4, 1e-3, 1e-2)
   all      everything above
 
-flags: -ppn N -iters N -warmup N -full -memgb N -nb N`)
+flags: -ppn N -iters N -warmup N -full -memgb N -nb N -seed N -size N`)
 }

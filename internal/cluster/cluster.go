@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/gvmi"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -40,6 +41,12 @@ type Config struct {
 	// ShmLatency is the intra-node delivery latency for shared-memory
 	// messages.
 	ShmLatency sim.Time
+
+	// Fault, when non-nil, attaches a deterministic fault injector to the
+	// fabric and verbs layers and enables the reliability machinery (retry,
+	// timeouts, proxy failover) in the offload framework. Nil keeps every
+	// fast path bit-identical to a fault-free build.
+	Fault *fault.Config
 }
 
 // DefaultConfig returns the standard testbed with the given shape.
@@ -112,6 +119,11 @@ type Cluster struct {
 	// from the offload framework — the Figure 1 timeline as data.
 	Trace *trace.Log
 
+	// Inj is the fault injector built from Cfg.Fault (nil when faults are
+	// off). Injected faults and recoveries are counted in Inj.Stats and
+	// recorded in Trace.
+	Inj *fault.Injector
+
 	Nodes []*Node
 }
 
@@ -126,6 +138,13 @@ func New(cfg Config) *Cluster {
 		F:    f,
 		Reg:  reg,
 		GVMI: gvmi.NewManager(reg, cfg.GVMI),
+	}
+	if cfg.Fault != nil {
+		inj := fault.NewInjector(cfg.Fault)
+		inj.TraceFn = func() *trace.Log { return c.Trace }
+		f.SetInjector(inj)
+		reg.SetInjector(inj)
+		c.Inj = inj
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.Nodes = append(c.Nodes, &Node{

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/gvmi"
 	"repro/internal/regcache"
 	"repro/internal/sim"
@@ -125,9 +126,37 @@ func New(cl *cluster.Cluster, cfg Config, sites []*cluster.Site) *Framework {
 		}
 		h.gvmiCache = regcache.New[gvmi.MKeyInfo](nProxies, 0, nil)
 		h.ibCache = regcache.New[*verbs.MR](1, 0, func(mr *verbs.MR) { mr.Deregister() })
+		if fw.crashesConfigured() {
+			// Crash tolerance: delivery counters move into host memory
+			// (dlvCtx receives the RDMA counter writes) and the host tracks
+			// enough request state to re-execute lost work itself.
+			h.dlvCtx = sites[r].NewCtx(fmt.Sprintf("dlvctr%d", r))
+			h.dlvSeen = make(map[dlvID]bool)
+			h.dlvCnt = make(map[gsKey]int)
+			h.pendingSends = make(map[int64]*sendRec)
+			h.osPending = make(map[int64]*osRec)
+		}
 		fw.hosts = append(fw.hosts, h)
 	}
 	return fw
+}
+
+// crashesConfigured reports whether the fault plan schedules any proxy
+// crash. Only then does the framework pay for crash tolerance (host-side
+// delivery counters, request records); without crashes every code path is
+// identical to a fault-free build.
+func (fw *Framework) crashesConfigured() bool {
+	f := fw.cl.Cfg.Fault
+	return f != nil && len(f.Crashes) > 0
+}
+
+// hbTimeout returns the heartbeat timeout after which a silent proxy is
+// declared dead.
+func (fw *Framework) hbTimeout() sim.Time {
+	if f := fw.cl.Cfg.Fault; f != nil && f.HeartbeatTimeout > 0 {
+		return f.HeartbeatTimeout
+	}
+	return fault.DefaultConfig(0).HeartbeatTimeout
 }
 
 // Cluster returns the underlying cluster.
@@ -163,6 +192,11 @@ func (fw *Framework) Stop() {
 	for _, px := range fw.proxies {
 		px.ctx.InboxCond.Broadcast()
 	}
+	if fw.crashesConfigured() {
+		for _, h := range fw.hosts {
+			h.dlvCtx.InboxCond.Broadcast()
+		}
+	}
 }
 
 // Start spawns the proxy worker processes and performs the Init_Offload
@@ -176,6 +210,40 @@ func (fw *Framework) Start() {
 		fw.cl.K.Spawn(fmt.Sprintf("proxy%d", px.global), func(p *sim.Proc) {
 			p.SetDaemon(true)
 			px.run(p)
+		})
+	}
+	if !fw.crashesConfigured() {
+		return
+	}
+	// Schedule the fault plan's proxy crashes/restarts at their virtual
+	// times (Start runs at t=0, before the kernel).
+	for _, cr := range fw.cl.Cfg.Fault.Crashes {
+		cr := cr
+		if cr.Proxy < 0 || cr.Proxy >= len(fw.proxies) {
+			panic(fmt.Sprintf("core: crash plan references proxy %d of %d", cr.Proxy, len(fw.proxies)))
+		}
+		px := fw.proxies[cr.Proxy]
+		fw.cl.K.At(cr.At, func() { px.crash() })
+		if cr.RestartAfter > 0 {
+			fw.cl.K.At(cr.At+cr.RestartAfter, func() { px.restart() })
+		}
+	}
+	// One counter daemon per host: it models the destination HCA updating
+	// the pre-registered delivery counters in host memory — zero CPU cost,
+	// it only accounts arrivals and wakes the readers (the host's own wait
+	// loops and its proxy's progress engine).
+	for _, h := range fw.hosts {
+		h := h
+		fw.cl.K.Spawn(fmt.Sprintf("dlvctr%d", h.rank), func(p *sim.Proc) {
+			p.SetDaemon(true)
+			for !fw.stopped {
+				for _, pkt := range h.dlvCtx.PollInbox() {
+					h.noteDelivery(p.Now(), pkt.Payload.(*dlvMsg))
+				}
+				if h.dlvCtx.InboxLen() == 0 && !fw.stopped {
+					h.dlvCtx.InboxCond.Wait(p)
+				}
+			}
 		})
 	}
 }

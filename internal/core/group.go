@@ -38,6 +38,27 @@ type GroupRequest struct {
 	callSeq     int // GroupCall invocations
 	doneSeq     int // completed calls (proxy's completion updates)
 	sentToProxy bool
+
+	// Crash-tolerance state (populated only when crashes are configured):
+	// the gathered wire entries let the host re-execute the pattern itself,
+	// and sentGen records the proxy generation the request was installed
+	// under so a restart (= lost group cache) is detectable.
+	wire    []wireOp
+	sentGen int
+	perCall map[int]int // recv entries per source host in one call
+}
+
+// recvsPerCall returns how many receive entries one call expects from src.
+func (g *GroupRequest) recvsPerCall(src int) int {
+	if g.perCall == nil {
+		g.perCall = make(map[int]int)
+		for _, e := range g.wire {
+			if e.Type == OpRecv {
+				g.perCall[e.Src]++
+			}
+		}
+	}
+	return g.perCall[src]
 }
 
 // GroupOp is one recorded entry.
@@ -107,6 +128,15 @@ func (h *Host) GroupCall(g *GroupRequest) {
 	g.callSeq++
 	px := h.fw.proxyFor(h.rank)
 
+	if h.failedOver {
+		// The proxy is dead: the host executes the pattern itself.
+		if g.wire == nil {
+			g.wire = h.buildWire(g, px)
+		}
+		h.startFallbackCall(g, g.callSeq)
+		return
+	}
+
 	if h.fw.cfg.GroupCache && g.sentToProxy {
 		// Host-side cache hit: "the host sends the request ID to the DPU".
 		h.ctx.PostSend(h.proc, px.ctx, &verbs.Packet{
@@ -120,6 +150,31 @@ func (h *Host) GroupCall(g *GroupRequest) {
 		return
 	}
 
+	entries := h.buildWire(g, px)
+
+	// One contiguous Group_Offload_packet to the proxy.
+	h.ctx.PostSend(h.proc, px.ctx, &verbs.Packet{
+		Kind: "group",
+		Size: h.fw.cfg.CtrlSize + len(entries)*h.fw.cfg.GroupOpWireSize,
+		Payload: &groupPacket{
+			HostRank: h.rank, GroupID: g.id, CallSeq: g.callSeq, Entries: entries,
+		},
+	})
+	g.sentToProxy = true
+	if h.fw.crashesConfigured() {
+		g.wire = entries
+		g.sentGen = px.gen
+	}
+	if tr := h.fw.cl.Trace; tr.Enabled() {
+		tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "Group_Offload_call",
+			fmt.Sprintf("full id=%d entries=%d", g.id, len(entries)))
+	}
+}
+
+// buildWire performs the gather phase of Group_Offload_call: register every
+// buffer, push receive-entry metadata to the source hosts, and match each
+// send entry with the metadata gathered from its destination.
+func (h *Host) buildWire(g *GroupRequest, px *Proxy) []wireOp {
 	// 1. Register buffers: send buffers through the GVMI cache (or IB cache
 	//    for the staging mechanism), receive buffers through the IB cache —
 	//    and push each receive entry's metadata to its source host.
@@ -171,20 +226,7 @@ func (h *Host) GroupCall(g *GroupRequest) {
 		}
 		entries[i] = w
 	}
-
-	// 3. One contiguous Group_Offload_packet to the proxy.
-	h.ctx.PostSend(h.proc, px.ctx, &verbs.Packet{
-		Kind: "group",
-		Size: h.fw.cfg.CtrlSize + len(entries)*h.fw.cfg.GroupOpWireSize,
-		Payload: &groupPacket{
-			HostRank: h.rank, GroupID: g.id, CallSeq: g.callSeq, Entries: entries,
-		},
-	})
-	g.sentToProxy = true
-	if tr := h.fw.cl.Trace; tr.Enabled() {
-		tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "Group_Offload_call",
-			fmt.Sprintf("full id=%d entries=%d", g.id, len(entries)))
-	}
+	return entries
 }
 
 // awaitGmeta blocks until receive-entry metadata from dst with the given
@@ -224,6 +266,6 @@ func (h *Host) GroupWait(g *GroupRequest) {
 
 // GroupTest polls for completion without blocking.
 func (h *Host) GroupTest(g *GroupRequest) bool {
-	h.drainInbox()
+	h.progress()
 	return g.doneSeq >= g.callSeq
 }

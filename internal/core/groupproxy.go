@@ -54,6 +54,16 @@ func (px *Proxy) installGroup(m *groupPacket) {
 func (px *Proxy) replayGroup(m *greplayMsg) {
 	g := px.groups[groupKey{m.HostRank, m.GroupID}]
 	if g == nil {
+		if px.fw.crashesConfigured() {
+			// The group cache died with a crash; tell the host so it fails
+			// over to host-progressed execution.
+			h := px.fw.hosts[m.HostRank]
+			px.ctx.PostSend(px.proc, h.ctx, &verbs.Packet{
+				Kind: "gfail", Size: px.fw.cfg.CtrlSize,
+				Payload: &gfailMsg{GroupID: m.GroupID, CallSeq: m.CallSeq},
+			})
+			return
+		}
 		panic(fmt.Sprintf("core: proxy %d: replay of unknown group %d/%d", px.global, m.HostRank, m.GroupID))
 	}
 	px.GroupHits++
@@ -75,8 +85,20 @@ func (px *Proxy) activeGroups() []*proxyGroup {
 }
 
 // recvsSatisfied checks the delivery counters against the group's expected
-// receive counts (isRecvBarrierDone of Algorithm 1).
+// receive counts (isRecvBarrierDone of Algorithm 1). When crashes are
+// configured the counters live in the destination host's memory (RDMA
+// counter writes, Section VII-C) so they survive a proxy failure; the proxy
+// reads them across the PCIe switch.
 func (px *Proxy) recvsSatisfied(g *proxyGroup) bool {
+	if px.fw.crashesConfigured() {
+		h := px.fw.hosts[g.host]
+		for src, n := range g.expected {
+			if h.dlvCnt[gsKey{g.id, src}] < n {
+				return false
+			}
+		}
+		return true
+	}
 	for src, n := range g.expected {
 		if px.deliveries[deliveryKey{g.host, g.id, src}] < n {
 			return false
@@ -152,12 +174,24 @@ func (px *Proxy) advanceGroup(g *proxyGroup) bool {
 // mechanism, and notifies the destination's proxy on completion.
 func (px *Proxy) postGroupSend(g *proxyGroup, idx int) {
 	e := &g.entries[idx]
+	callNum := g.finishedSeq + 1 // the call currently executing
 	notify := func() {
 		g.pending--
+		pay := &dlvMsg{
+			SrcHost: g.host, DstHost: e.Dst, DstGroup: e.DstGroup,
+			Call: callNum, Entry: idx,
+		}
+		if px.fw.crashesConfigured() {
+			// Counter write into destination host memory (crash-safe).
+			h := px.fw.hosts[e.Dst]
+			px.ctx.PostSend(px.proc, h.dlvCtx, &verbs.Packet{
+				Kind: "dlv", Size: px.fw.cfg.CtrlSize, Payload: pay,
+			})
+			return
+		}
 		dst := px.fw.proxyFor(e.Dst)
 		px.ctx.PostSend(px.proc, dst.ctx, &verbs.Packet{
-			Kind: "dlv", Size: px.fw.cfg.CtrlSize,
-			Payload: &dlvMsg{SrcHost: g.host, DstHost: e.Dst, DstGroup: e.DstGroup},
+			Kind: "dlv", Size: px.fw.cfg.CtrlSize, Payload: pay,
 		})
 	}
 

@@ -30,6 +30,29 @@ type Host struct {
 	nextGroup int
 	groups    map[int]*GroupRequest
 
+	// Crash-tolerance state; allocated only when the fault plan schedules
+	// proxy crashes (see failover.go). dlvCtx receives the RDMA delivery-
+	// counter writes of Section VII-C, which move into host memory so they
+	// survive a proxy failure.
+	dlvCtx       *verbs.Ctx
+	dlvSeen      map[dlvID]bool
+	dlvCnt       map[gsKey]int
+	pendingSends map[int64]*sendRec
+	pendingRecvs []*recvRec
+	foQ          []*foSendMsg
+	osPending    map[int64]*osRec
+	fbRun        []*fbCall
+	deferred     []func()
+	failedOver   bool
+
+	// Reliability counters (aggregated by Framework.Stats).
+	Failovers      int64
+	FallbackCalls  int64
+	FallbackWrites int64
+	FoSends        int64
+	OsReissues     int64
+	DlvDup         int64
+
 	// OffloadTime accumulates virtual time spent inside blocking calls of
 	// this library (Wait/GroupWait/GroupCall).
 	OffloadTime sim.Time
@@ -102,6 +125,15 @@ func (h *Host) ibRegister(addr mem.Addr, size int) *verbs.MR {
 func (h *Host) SendOffload(addr mem.Addr, size, dst, tag int) *OffloadRequest {
 	px := h.fw.proxyFor(h.rank)
 	req := h.newReq()
+	if h.fw.crashesConfigured() {
+		rec := &sendRec{req: req, dst: dst, tag: tag, size: size, addr: addr, gen: px.gen}
+		h.pendingSends[req.id] = rec
+		if h.failedOver {
+			// The proxy is gone: push the payload eagerly to the peer host.
+			h.foSendNow(rec)
+			return req
+		}
+	}
 	pay := &rtsMsg{Src: h.rank, Dst: dst, Tag: tag, Size: size, SrcReqID: req.id}
 	if h.fw.cfg.Mechanism == MechGVMI {
 		pay.MKey = h.gvmiRegister(px, addr, size)
@@ -125,6 +157,19 @@ func (h *Host) SendOffload(addr mem.Addr, size, dst, tag int) *OffloadRequest {
 func (h *Host) RecvOffload(addr mem.Addr, size, src, tag int) *OffloadRequest {
 	px := h.fw.proxyFor(src)
 	req := h.newReq()
+	if h.fw.crashesConfigured() {
+		// A failed-over sender may already have pushed the payload eagerly.
+		if m := h.takeFoSend(src, tag); m != nil {
+			if m.Data != nil {
+				h.site.Space.WriteAt(addr, m.Data, m.Size)
+			}
+			req.done = true
+			delete(h.reqs, req.id)
+			h.foAck(m)
+			return req
+		}
+		h.pendingRecvs = append(h.pendingRecvs, &recvRec{req: req, src: src, tag: tag, size: size, addr: addr})
+	}
 	mr := h.ibRegister(addr, size)
 	pay := &rtrMsg{Src: src, Dst: h.rank, Tag: tag, Size: size, DstReqID: req.id, DstAddr: addr, RKey: mr.RKey()}
 	h.ctx.PostSend(h.proc, px.ctx, &verbs.Packet{
@@ -147,6 +192,7 @@ func (h *Host) drainInbox() bool {
 			if q, ok := h.reqs[m.ReqID]; ok {
 				q.done = true
 				delete(h.reqs, m.ReqID)
+				h.dropRecords(m.ReqID)
 				if tr := h.fw.cl.Trace; tr.Enabled() {
 					tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "FIN",
 						fmt.Sprintf("req=%d", m.ReqID&0xffffffff))
@@ -158,6 +204,16 @@ func (h *Host) drainInbox() bool {
 			if g, ok := h.groups[m.GroupID]; ok && m.CallSeq > g.doneSeq {
 				g.doneSeq = m.CallSeq
 			}
+		case *gfailMsg:
+			h.handleGroupFail(m)
+		case *foSendMsg:
+			h.handleFoSend(m)
+		case *foAckMsg:
+			if q, ok := h.reqs[m.ReqID]; ok {
+				q.done = true
+				delete(h.reqs, m.ReqID)
+				h.dropRecords(m.ReqID)
+			}
 		default:
 			panic(fmt.Sprintf("core: host %d: unexpected packet %T", h.rank, pkt.Payload))
 		}
@@ -165,15 +221,28 @@ func (h *Host) drainInbox() bool {
 	return len(pkts) > 0
 }
 
+// progress runs one round of host-side progress: drain completions, run
+// deferred actions queued by RDMA completion handlers, detect dead proxies,
+// and advance any host-progressed fallback execution. Without a fault plan
+// it reduces to drainInbox.
+func (h *Host) progress() {
+	h.drainInbox()
+	if h.fw.crashesConfigured() {
+		h.runDeferred()
+		h.checkRecovery()
+		h.progressFallback()
+	}
+}
+
 // waitFor drains completions until pred holds.
 func (h *Host) waitFor(pred func() bool) {
 	t0 := h.proc.Now()
 	for {
-		h.drainInbox()
+		h.progress()
 		if pred() {
 			break
 		}
-		if h.ctx.InboxLen() == 0 {
+		if h.ctx.InboxLen() == 0 && len(h.deferred) == 0 {
 			h.ctx.InboxCond.Wait(h.proc)
 		}
 	}
@@ -200,6 +269,6 @@ func (h *Host) WaitAll(reqs ...*OffloadRequest) {
 
 // TestOffload polls for completion without blocking.
 func (h *Host) TestOffload(req *OffloadRequest) bool {
-	h.drainInbox()
+	h.progress()
 	return req.done
 }

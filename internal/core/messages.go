@@ -97,15 +97,45 @@ type greplayMsg struct {
 	CallSeq  int
 }
 
-// dlvMsg is the proxy-to-proxy delivery notification that implements the
-// barrier/receive-progress counters of Section VII-C: after a proxy
-// completes an RDMA write on behalf of srcHost, it bumps the counter at the
-// destination host's proxy. (The paper uses pre-registered RDMA counter
-// writes; a small control packet has the same wire cost in our model.)
+// dlvMsg is the delivery notification that implements the barrier/
+// receive-progress counters of Section VII-C: after a proxy completes an
+// RDMA write on behalf of srcHost, it bumps a counter attributed to the
+// destination host's group request. (The paper uses pre-registered RDMA
+// counter writes; a small control packet has the same wire cost in our
+// model.) Normally it travels proxy-to-proxy; when proxy crashes are
+// configured the counters live in destination *host* memory instead —
+// exactly the paper's RDMA-counter placement — so they survive a proxy
+// failure, and Call/Entry identify the notification uniquely so a fallback
+// retransmission is counted exactly once.
 type dlvMsg struct {
 	SrcHost  int
 	DstHost  int
 	DstGroup int
+	Call     int // group call number this delivery belongs to
+	Entry    int // send-entry index within the call
+}
+
+// gfailMsg tells a host that its proxy cannot serve a replayed group
+// request (the proxy restarted after a crash and lost its group cache); the
+// host fails over to host-progressed execution.
+type gfailMsg struct {
+	GroupID int
+	CallSeq int
+}
+
+// foSendMsg is the host-progressed fallback for a basic-primitive send: the
+// source host, having declared its proxy dead, pushes the payload eagerly
+// to the destination host.
+type foSendMsg struct {
+	Src, Dst, Tag int
+	Size          int
+	ReqID         int64 // sender's request, completed by the foAckMsg
+	Data          []byte
+}
+
+// foAckMsg completes a fallback send on the source host.
+type foAckMsg struct {
+	ReqID int64
 }
 
 // gdoneMsg is the completion-counter update written back to the host when

@@ -66,6 +66,16 @@ func (h *Host) PutOffload(src Window, srcOff int, dst Window, dstOff, n int) *Of
 	dst.checkRange(dstOff, n)
 	req := h.newReq()
 	px := h.fw.proxyFor(h.rank)
+	if h.fw.crashesConfigured() {
+		// Enough to re-post the write from the host NIC if the proxy dies:
+		// the window keys resolve identically on the host.
+		h.osPending[req.id] = &osRec{
+			req: req, proxy: px.global, isPut: true,
+			lKey: src.RKey, lAddr: src.Addr + mem.Addr(srcOff),
+			rKey: dst.RKey, rAddr: dst.Addr + mem.Addr(dstOff),
+			size: n, gen: px.gen,
+		}
+	}
 	h.ctx.PostSend(h.proc, px.ctx, &verbs.Packet{
 		Kind: "1sided", Size: h.fw.cfg.CtrlSize + gvmi.WireSize,
 		Payload: &oneSidedMsg{
@@ -89,6 +99,16 @@ func (h *Host) GetOffload(dst Window, dstOff int, src Window, srcOff, n int) *Of
 	dst.checkRange(dstOff, n)
 	req := h.newReq()
 	px := h.fw.proxyFor(src.Rank)
+	if h.fw.crashesConfigured() {
+		// Fallback is an RDMA read posted by the initiator: pull from the
+		// remote window straight into the local one.
+		h.osPending[req.id] = &osRec{
+			req: req, proxy: px.global, isPut: false,
+			lKey: dst.RKey, lAddr: dst.Addr + mem.Addr(dstOff),
+			rKey: src.RKey, rAddr: src.Addr + mem.Addr(srcOff),
+			size: n, gen: px.gen,
+		}
+	}
 	h.ctx.PostSend(h.proc, px.ctx, &verbs.Packet{
 		Kind: "1sided", Size: h.fw.cfg.CtrlSize + gvmi.WireSize,
 		Payload: &oneSidedMsg{

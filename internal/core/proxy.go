@@ -40,6 +40,13 @@ type Proxy struct {
 	proc   *sim.Proc
 	gvmiID gvmi.ID
 
+	// Crash state (fault injection). gen counts crash/restart transitions:
+	// work posted to the proxy under an older generation has been lost, which
+	// is how hosts detect state loss across a restart.
+	crashed   bool
+	crashedAt sim.Time
+	gen       int
+
 	crossCache *regcache.Cache[*verbs.MR] // first level: source host rank
 
 	sendQ    map[matchKey][]*rtsMsg
@@ -97,6 +104,17 @@ func (px *Proxy) GlobalID() int { return px.global }
 func (px *Proxy) run(p *sim.Proc) {
 	px.proc = p
 	for !px.fw.stopped {
+		if px.crashed {
+			// A dead process consumes nothing: anything that arrives while
+			// down is silently lost (the reliability layer re-sends or the
+			// hosts fail over).
+			px.ctx.PollInbox()
+			px.deferred, px.combined = nil, nil
+			if px.crashed && !px.fw.stopped {
+				px.ctx.InboxCond.Wait(p)
+			}
+			continue
+		}
 		progressed := false
 		for _, pkt := range px.ctx.PollInbox() {
 			px.handle(pkt)
@@ -131,6 +149,63 @@ func (px *Proxy) run(p *sim.Proc) {
 
 func (px *Proxy) idle() bool {
 	return px.ctx.InboxLen() == 0 && len(px.deferred) == 0 && len(px.combined) == 0
+}
+
+// crash kills the proxy process at the scheduled virtual time (handler
+// context): all in-memory state — match queues, group cache, delivery
+// counters, staging pool — is lost. RDMA operations already on the wire
+// still land (the HCA completes them), but the dead software never sends
+// their notifications. A heartbeat-timeout later every host is woken so the
+// loss can be detected.
+func (px *Proxy) crash() {
+	if px.crashed {
+		return
+	}
+	fw := px.fw
+	now := fw.cl.K.Now()
+	px.crashed = true
+	px.crashedAt = now
+	px.gen++
+	px.ctx.PollInbox() // queued packets die with the process
+	px.sendQ = make(map[matchKey][]*rtsMsg)
+	px.recvQ = make(map[matchKey][]*rtrMsg)
+	px.combined, px.deferred = nil, nil
+	px.groups = make(map[groupKey]*proxyGroup)
+	px.groupList = nil
+	px.deliveries = make(map[deliveryKey]int)
+	px.stagePool = make(map[int][]*stageBuf)
+	px.crossCache = regcache.New[*verbs.MR](fw.cl.Cfg.NP(), 0, func(mr *verbs.MR) { mr.Deregister() })
+	if inj := fw.cl.Inj; inj != nil {
+		inj.Stats.Crashes++
+		inj.Note(now, fmt.Sprintf("proxy%d", px.global), "crash", "process killed")
+	}
+	fw.cl.K.At(fw.hbTimeout(), func() {
+		// The liveness counter in host memory has now been stale for a full
+		// timeout: wake every host so Wait/GroupWait loops re-evaluate.
+		for _, h := range fw.hosts {
+			h.ctx.InboxCond.Broadcast()
+		}
+	})
+}
+
+// restart brings the proxy process back with empty state (handler context).
+// The generation bump tells hosts that anything posted before is gone.
+func (px *Proxy) restart() {
+	if !px.crashed {
+		return
+	}
+	fw := px.fw
+	now := fw.cl.K.Now()
+	px.crashed = false
+	px.gen++
+	if inj := fw.cl.Inj; inj != nil {
+		inj.Stats.Restarts++
+		inj.Note(now, fmt.Sprintf("proxy%d", px.global), "restart", "process restarted with empty state")
+	}
+	px.ctx.InboxCond.Broadcast()
+	for _, h := range fw.hosts {
+		h.ctx.InboxCond.Broadcast()
+	}
 }
 
 // handle dispatches one control message (Figure 8's DPU handler).
@@ -273,8 +348,13 @@ func (px *Proxy) sendFIN(hostRank int, reqID int64) {
 }
 
 // later queues fn for the next engine round (used from completion handlers,
-// which run in kernel handler context).
+// which run in kernel handler context). A crashed proxy's completions are
+// discarded: the data is on the wire regardless, but the dead software
+// never acts on the CQE.
 func (px *Proxy) later(fn func()) {
+	if px.crashed {
+		return
+	}
 	px.deferred = append(px.deferred, fn)
 	px.ctx.InboxCond.Broadcast()
 }

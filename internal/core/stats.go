@@ -22,6 +22,14 @@ type Stats struct {
 	HostIBCacheMisses   int64
 	CrossCacheHits      int64 // DPU-side cross-registration cache
 	CrossCacheMisses    int64
+
+	// Reliability counters (nonzero only under fault injection with crashes).
+	Failovers          int64 // hosts that switched to host-progressed fallback
+	FallbackGroupCalls int64 // group calls executed by hosts
+	FallbackWrites     int64 // RDMA writes posted by fallback hosts
+	FoEagerSends       int64 // basic sends pushed eagerly host-to-host
+	OneSidedReissues   int64 // one-sided transfers re-posted by initiators
+	DlvDeduped         int64 // duplicate delivery notifications suppressed
 }
 
 // Stats collects counters across all hosts and proxies.
@@ -42,17 +50,30 @@ func (fw *Framework) Stats() Stats {
 		s.HostGVMICacheMisses += h.gvmiCache.Misses
 		s.HostIBCacheHits += h.ibCache.Hits
 		s.HostIBCacheMisses += h.ibCache.Misses
+		s.Failovers += h.Failovers
+		s.FallbackGroupCalls += h.FallbackCalls
+		s.FallbackWrites += h.FallbackWrites
+		s.FoEagerSends += h.FoSends
+		s.OneSidedReissues += h.OsReissues
+		s.DlvDeduped += h.DlvDup
 	}
 	return s
 }
 
 // String renders a compact human-readable report.
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"ctrl=%d writes=%d reads=%d staged=%d group(hit/miss)=%d/%d gvmi$(h/m)=%d/%d ib$(h/m)=%d/%d cross$(h/m)=%d/%d",
 		s.CtrlMsgs, s.RDMAWrites, s.RDMAReads, s.StagedOps,
 		s.GroupHits, s.GroupMisses,
 		s.HostGVMICacheHits, s.HostGVMICacheMisses,
 		s.HostIBCacheHits, s.HostIBCacheMisses,
 		s.CrossCacheHits, s.CrossCacheMisses)
+	if s.Failovers > 0 || s.FallbackWrites > 0 || s.FoEagerSends > 0 || s.DlvDeduped > 0 {
+		out += fmt.Sprintf(
+			" failovers=%d fbcalls=%d fbwrites=%d fosends=%d 1s-reissues=%d dlv-dedup=%d",
+			s.Failovers, s.FallbackGroupCalls, s.FallbackWrites,
+			s.FoEagerSends, s.OneSidedReissues, s.DlvDeduped)
+	}
+	return out
 }

@@ -15,6 +15,7 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -118,6 +119,7 @@ type Fabric struct {
 	k   *sim.Kernel
 	cfg Config
 	eps []*Endpoint
+	inj *fault.Injector // nil = no fault injection
 }
 
 // New creates a fabric on kernel k.
@@ -127,6 +129,13 @@ func New(k *sim.Kernel, cfg Config) *Fabric {
 
 // Kernel returns the owning simulation kernel.
 func (f *Fabric) Kernel() *sim.Kernel { return f.k }
+
+// SetInjector attaches a fault injector; nil disables injection. Plain
+// Transfer is unaffected either way — only TransferFated consults it.
+func (f *Fabric) SetInjector(inj *fault.Injector) { f.inj = inj }
+
+// Injector returns the attached fault injector (nil when faults are off).
+func (f *Fabric) Injector() *fault.Injector { return f.inj }
 
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
@@ -154,6 +163,29 @@ func (f *Fabric) Latency(src, dst *Endpoint) sim.Time {
 // Transfer may be called from process or handler context; it never blocks.
 // CPU costs of composing the message are the caller's business.
 func (f *Fabric) Transfer(src, dst *Endpoint, size int, deliver func()) (txDone, arrive sim.Time) {
+	return f.transfer(src, dst, size, deliver, fault.FateDeliver)
+}
+
+// TransferFated is Transfer with fault injection: the attached injector
+// draws a fate for the message and the returned fate tells the caller
+// (the verbs layer) whether to arrange a retransmission. A dropped message
+// consumes only the sender's overhead and serialization; a corrupted one
+// occupies both endpoints but is discarded by the receiver's ICRC check
+// (deliver never runs for either); a delayed one is delivered DelaySpike
+// late. With no injector attached this is exactly Transfer.
+func (f *Fabric) TransferFated(src, dst *Endpoint, size int, deliver func()) (txDone, arrive sim.Time, fate fault.Fate) {
+	fate = f.inj.FateFor()
+	if fate != fault.FateDeliver {
+		f.inj.Note(f.k.Now(), "fabric", fate.String(),
+			fmt.Sprintf("%s->%s size=%d", src.name, dst.name, size))
+	}
+	txDone, arrive = f.transfer(src, dst, size, deliver, fate)
+	return txDone, arrive, fate
+}
+
+// transfer computes endpoint occupancy and schedules delivery according to
+// the message's fate.
+func (f *Fabric) transfer(src, dst *Endpoint, size int, deliver func(), fate fault.Fate) (txDone, arrive sim.Time) {
 	if src == nil || dst == nil {
 		panic("fabric: nil endpoint")
 	}
@@ -176,6 +208,11 @@ func (f *Fabric) Transfer(src, dst *Endpoint, size int, deliver func()) (txDone,
 	src.MsgsSent++
 	src.BytesSent += int64(size)
 
+	if fate == fault.FateDrop {
+		// Lost on the wire: the receiver never sees it.
+		return txDone, 0
+	}
+
 	headArrive := start + txPar.Overhead + f.Latency(src, dst)
 	rxStart := headArrive
 	if dst.rxBusyUntil > rxStart {
@@ -185,6 +222,16 @@ func (f *Fabric) Transfer(src, dst *Endpoint, size int, deliver func()) (txDone,
 	dst.rxBusyUntil = arrive
 	dst.MsgsRecv++
 	dst.BytesRecv += int64(size)
+
+	if fate == fault.FateCorrupt {
+		// Arrived but failed the ICRC check: occupies the port, then is
+		// discarded without delivery.
+		return txDone, arrive
+	}
+	if fate == fault.FateDelay {
+		// Switch-buffering excursion: delivery (not port occupancy) is late.
+		arrive += f.inj.Spike()
+	}
 
 	if deliver != nil {
 		f.k.At(arrive-now, deliver)

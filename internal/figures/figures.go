@@ -274,6 +274,24 @@ func Fig17(nodes, ppn, memGB, nb int, fracs []int) *bench.Table {
 	return t
 }
 
+// ChaosRates is the default fault-rate sweep for the chaos experiment.
+var ChaosRates = []float64{0, 1e-4, 1e-3, 1e-2}
+
+// FigChaos runs the reliability sweep: the Figure 13 Ialltoall overlap
+// measurement repeated under deterministic fault injection at increasing
+// rates, with every payload verified end to end. The rate-0 row attaches a
+// silent injector and reproduces the fault-free Figure 13 timings exactly
+// (the rate-zero fast paths draw no randomness and schedule the same
+// events); nonzero rows show the retry/redelivery cost.
+func FigChaos(nodes, ppn int, seed int64, rates []float64, msgSize, warmup, iters int) *bench.Table {
+	opt := bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed}
+	results := bench.ChaosSweep(opt, seed, rates, msgSize, warmup, iters)
+	t := bench.ChaosTable(results)
+	t.Title = fmt.Sprintf("Chaos: Ialltoall (Proposed) under fault injection, %d nodes x %d PPN, seed %d",
+		nodes, ppn, seed)
+	return t
+}
+
 // HPLSizeFor converts a memory fraction into a matrix order, rounded to a
 // multiple of nb (the HPL convention: N = sqrt(frac * total_mem / 8)).
 func HPLSizeFor(nodes, memGB, fracPct, nb int) int {

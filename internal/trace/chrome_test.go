@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestUnboundedLogDropsNothing(t *testing.T) {
+	l := New(0)
+	for i := 0; i < 1000; i++ {
+		l.Add(sim.Time(i), "rank0", "op", "")
+	}
+	if l.Len() != 1000 || l.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", l.Len(), l.Dropped())
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 10; i++ {
+		l.Add(sim.Time(i), "e", fmt.Sprintf("op%d", i), "")
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	if l.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", l.Dropped())
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d", len(evs))
+	}
+	for i, ev := range evs {
+		if want := fmt.Sprintf("op%d", i+6); ev.Action != want {
+			t.Fatalf("event %d = %q, want %q (oldest evicted, order kept)", i, ev.Action, want)
+		}
+	}
+	if (&Log{}).Dropped() != 0 {
+		t.Fatal("fresh log reports drops")
+	}
+}
+
+func TestRingKeepsInsertionOrderForEqualTimes(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 7; i++ {
+		l.Add(5, "e", fmt.Sprintf("op%d", i), "") // all at the same instant
+	}
+	want := []string{"op4", "op5", "op6"}
+	for i, ev := range l.Events() {
+		if ev.Action != want[i] {
+			t.Fatalf("event %d = %q, want %q", i, ev.Action, want[i])
+		}
+	}
+}
+
+// The Chrome export must be valid JSON with the documented shape: a
+// traceEvents array holding one "M" thread_name record per entity plus one
+// "i" instant per event, timestamped in microseconds.
+func TestWriteChromeTraceShape(t *testing.T) {
+	l := New(0)
+	l.Add(1500, "rank0", "send-offload", "dst=1")
+	l.Add(2500, "proxy0", "RTS", "")
+	l.Add(3500, "rank0", "FIN", "req=1")
+
+	var buf bytes.Buffer
+	if err := l.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string            `json:"name"`
+			Phase string            `json:"ph"`
+			TS    float64           `json:"ts"`
+			PID   int               `json:"pid"`
+			TID   int               `json:"tid"`
+			Args  map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var meta, inst int
+	tidByName := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "M":
+			meta++
+			if e.Name != "thread_name" || e.Args["name"] == "" {
+				t.Fatalf("bad metadata event: %+v", e)
+			}
+			tidByName[e.Args["name"]] = e.TID
+		case "i":
+			inst++
+		default:
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+	}
+	if meta != 2 {
+		t.Fatalf("want 2 thread_name records (rank0, proxy0), got %d", meta)
+	}
+	if inst != 3 {
+		t.Fatalf("want 3 instants, got %d", inst)
+	}
+	// Instants reference their entity's tid and convert ns -> us.
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "i" {
+			continue
+		}
+		switch e.Name {
+		case "send-offload":
+			if e.TS != 1.5 || e.TID != tidByName["rank0"] {
+				t.Fatalf("send-offload ts=%v tid=%d", e.TS, e.TID)
+			}
+			if e.Args["detail"] != "dst=1" {
+				t.Fatalf("detail = %q", e.Args["detail"])
+			}
+		case "RTS":
+			if e.TS != 2.5 || e.TID != tidByName["proxy0"] {
+				t.Fatalf("RTS ts=%v tid=%d", e.TS, e.TID)
+			}
+		}
+	}
+}
+
+// Nil and empty logs still produce a parseable document with an empty — not
+// null — traceEvents array.
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	for _, l := range []*Log{nil, New(0)} {
+		var buf bytes.Buffer
+		if err := l.WriteChromeTrace(&buf); err != nil {
+			t.Fatalf("WriteChromeTrace: %v", err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("invalid JSON: %v", err)
+		}
+		if arr, ok := doc["traceEvents"].([]any); !ok || arr == nil {
+			t.Fatalf("traceEvents not an array: %v", doc["traceEvents"])
+		}
+	}
+}

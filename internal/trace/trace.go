@@ -29,37 +29,61 @@ type Event struct {
 
 // Log collects events. The zero value is unusable; use New. A nil *Log is
 // valid and discards everything.
+//
+// When a limit is set the log is a ring buffer: once full, each new event
+// evicts the oldest one, so long runs keep the most recent (usually most
+// interesting) tail. Dropped reports how many events were evicted.
 type Log struct {
-	events []Event
-	limit  int
+	events  []Event
+	limit   int
+	start   int   // ring head: index of the oldest event when full
+	dropped int64 // events evicted by the ring
 }
 
-// New creates a log that keeps at most limit events (0 = unbounded).
+// New creates a log that keeps at most the limit most recent events
+// (0 = unbounded).
 func New(limit int) *Log {
 	return &Log{limit: limit}
 }
 
-// Add records an event; nil-safe.
+// Add records an event; nil-safe. With a limit set, the oldest event is
+// evicted once the log is full.
 func (l *Log) Add(at sim.Time, entity, action, detail string) {
 	if l == nil {
 		return
 	}
+	ev := Event{At: at, Entity: entity, Action: action, Detail: detail}
 	if l.limit > 0 && len(l.events) >= l.limit {
+		l.events[l.start] = ev
+		l.start = (l.start + 1) % l.limit
+		l.dropped++
 		return
 	}
-	l.events = append(l.events, Event{At: at, Entity: entity, Action: action, Detail: detail})
+	l.events = append(l.events, ev)
+}
+
+// Dropped reports how many events were evicted by the ring buffer;
+// nil-safe.
+func (l *Log) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
 }
 
 // Enabled reports whether events are being recorded; nil-safe.
 func (l *Log) Enabled() bool { return l != nil }
 
 // Events returns the recorded events in chronological order (stable for
-// equal timestamps).
+// equal timestamps, in insertion order).
 func (l *Log) Events() []Event {
 	if l == nil {
 		return nil
 	}
-	out := append([]Event(nil), l.events...)
+	// Unroll the ring so the stable sort preserves insertion order.
+	out := make([]Event, 0, len(l.events))
+	out = append(out, l.events[l.start:]...)
+	out = append(out, l.events[:l.start]...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out
 }

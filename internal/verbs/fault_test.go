@@ -1,0 +1,267 @@
+package verbs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// faultRig is a rig with an injector attached.
+func newFaultRig(n int, cfg *fault.Config) (*rig, *fault.Injector) {
+	rg := newRig(n)
+	in := fault.NewInjector(cfg)
+	rg.f.SetInjector(in)
+	rg.r.SetInjector(in)
+	return rg, in
+}
+
+// Under heavy drops the write is retransmitted until it lands; the payload
+// still arrives intact and the retry counter records the losses.
+func TestWriteRetriesUnderDrops(t *testing.T) {
+	cfg := fault.DefaultConfig(3)
+	cfg.DropRate = 0.5
+	rg, in := newFaultRig(2, cfg)
+	src := rg.sp[0].Alloc(4096, true)
+	dst := rg.sp[1].Alloc(4096, true)
+	copy(src.Bytes(), bytes.Repeat([]byte{0xAB}, 4096))
+
+	var done sim.Time
+	rg.k.Spawn("p", func(p *sim.Proc) {
+		smr := rg.ctx[0].RegisterMR(p, src.Addr(), 4096)
+		dmr := rg.ctx[1].RegisterMR(p, dst.Addr(), 4096)
+		for i := 0; i < 20; i++ {
+			if err := rg.ctx[0].PostWrite(p, WriteOp{
+				LocalKey: smr.LKey(), LocalAddr: src.Addr(),
+				RemoteKey: dmr.RKey(), RemoteAddr: dst.Addr(), Size: 4096,
+				OnRemoteComplete: func(at sim.Time) { done = at },
+			}); err != nil {
+				t.Fatalf("PostWrite: %v", err)
+			}
+		}
+	})
+	rg.k.Run()
+	if done == 0 {
+		t.Fatal("write never completed")
+	}
+	if !bytes.Equal(dst.Bytes(), src.Bytes()) {
+		t.Fatal("payload corrupted")
+	}
+	if in.Stats.Drops == 0 || in.Stats.Retries == 0 {
+		t.Fatalf("no retries recorded under 50%% drops: %+v", in.Stats)
+	}
+	if in.Stats.Exhausted != 0 {
+		t.Fatalf("retry budget exhausted unexpectedly: %+v", in.Stats)
+	}
+}
+
+// With a 100% drop rate and a tiny retry budget the op must fail terminally
+// through OnError, and the payload must never arrive.
+func TestWriteRetryExhausted(t *testing.T) {
+	cfg := fault.DefaultConfig(1)
+	cfg.DropRate = 1.0
+	cfg.Retry = fault.RetryConfig{MaxAttempts: 2, Backoff: sim.Microsecond, BackoffMax: sim.Microsecond}
+	rg, in := newFaultRig(2, cfg)
+	src := rg.sp[0].Alloc(64, true)
+	dst := rg.sp[1].Alloc(64, true)
+	copy(src.Bytes(), bytes.Repeat([]byte{0xFF}, 64))
+
+	var failedAt sim.Time
+	completed := false
+	rg.k.Spawn("p", func(p *sim.Proc) {
+		smr := rg.ctx[0].RegisterMR(p, src.Addr(), 64)
+		dmr := rg.ctx[1].RegisterMR(p, dst.Addr(), 64)
+		if err := rg.ctx[0].PostWrite(p, WriteOp{
+			LocalKey: smr.LKey(), LocalAddr: src.Addr(),
+			RemoteKey: dmr.RKey(), RemoteAddr: dst.Addr(), Size: 64,
+			OnRemoteComplete: func(sim.Time) { completed = true },
+			OnError:          func(at sim.Time) { failedAt = at },
+		}); err != nil {
+			t.Fatalf("PostWrite: %v", err)
+		}
+	})
+	rg.k.Run()
+	if completed {
+		t.Fatal("write completed despite 100% drops")
+	}
+	if failedAt == 0 {
+		t.Fatal("OnError never fired")
+	}
+	if in.Stats.Exhausted != 1 || in.Stats.Retries != 1 {
+		t.Fatalf("want 1 retry + 1 exhausted, got %+v", in.Stats)
+	}
+	for _, b := range dst.Bytes() {
+		if b != 0 {
+			t.Fatal("dropped write delivered bytes")
+		}
+	}
+}
+
+// Error CQEs (pre-wire faults) are retried like wire losses.
+func TestCQErrorRetried(t *testing.T) {
+	cfg := fault.DefaultConfig(5)
+	cfg.CQErrorRate = 0.5
+	rg, in := newFaultRig(2, cfg)
+	src := rg.sp[0].Alloc(256, true)
+	dst := rg.sp[1].Alloc(256, true)
+	copy(src.Bytes(), bytes.Repeat([]byte{0x11}, 256))
+
+	done := 0
+	rg.k.Spawn("p", func(p *sim.Proc) {
+		smr := rg.ctx[0].RegisterMR(p, src.Addr(), 256)
+		dmr := rg.ctx[1].RegisterMR(p, dst.Addr(), 256)
+		for i := 0; i < 20; i++ {
+			if err := rg.ctx[0].PostWrite(p, WriteOp{
+				LocalKey: smr.LKey(), LocalAddr: src.Addr(),
+				RemoteKey: dmr.RKey(), RemoteAddr: dst.Addr(), Size: 256,
+				OnRemoteComplete: func(sim.Time) { done++ },
+			}); err != nil {
+				t.Fatalf("PostWrite: %v", err)
+			}
+		}
+	})
+	rg.k.Run()
+	if done != 20 {
+		t.Fatalf("completed %d/20 writes", done)
+	}
+	if in.Stats.CQErrors == 0 {
+		t.Fatalf("no CQ errors drawn at 50%%: %+v", in.Stats)
+	}
+	if !bytes.Equal(dst.Bytes(), src.Bytes()) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+// RDMA reads retry the whole round trip on the loss of either leg.
+func TestReadRetriesUnderDrops(t *testing.T) {
+	cfg := fault.DefaultConfig(9)
+	cfg.DropRate = 0.4
+	rg, in := newFaultRig(2, cfg)
+	local := rg.sp[0].Alloc(512, true)
+	remote := rg.sp[1].Alloc(512, true)
+	copy(remote.Bytes(), bytes.Repeat([]byte{0x77}, 512))
+
+	done := 0
+	rg.k.Spawn("p", func(p *sim.Proc) {
+		lmr := rg.ctx[0].RegisterMR(p, local.Addr(), 512)
+		rmr := rg.ctx[1].RegisterMR(p, remote.Addr(), 512)
+		for i := 0; i < 10; i++ {
+			if err := rg.ctx[0].PostRead(p, ReadOp{
+				LocalKey: lmr.LKey(), LocalAddr: local.Addr(),
+				RemoteKey: rmr.RKey(), RemoteAddr: remote.Addr(), Size: 512,
+				OnComplete: func(sim.Time) { done++ },
+			}); err != nil {
+				t.Fatalf("PostRead: %v", err)
+			}
+		}
+	})
+	rg.k.Run()
+	if done != 10 {
+		t.Fatalf("completed %d/10 reads", done)
+	}
+	if in.Stats.Drops == 0 || in.Stats.Retries == 0 {
+		t.Fatalf("no read retries at 40%% drops: %+v", in.Stats)
+	}
+	if !bytes.Equal(local.Bytes(), remote.Bytes()) {
+		t.Fatal("read payload wrong")
+	}
+}
+
+// Control messages (two-sided sends) are also retried to delivery.
+func TestSendRetriesUnderDrops(t *testing.T) {
+	cfg := fault.DefaultConfig(11)
+	cfg.DropRate = 0.5
+	rg, in := newFaultRig(2, cfg)
+
+	var got []*Packet
+	rg.k.Spawn("recv", func(p *sim.Proc) {
+		for len(got) < 5 {
+			rg.ctx[1].AwaitInbox(p)
+			got = append(got, rg.ctx[1].PollInbox()...)
+		}
+	})
+	rg.k.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			rg.ctx[0].PostSend(p, rg.ctx[1], &Packet{Kind: "ctrl", Size: 64, Payload: i})
+		}
+	})
+	rg.k.Run()
+	if len(rg.k.Deadlocked) != 0 {
+		t.Fatal("deadlock: control messages lost for good")
+	}
+	if len(got) != 5 {
+		t.Fatalf("delivered %d/5 messages", len(got))
+	}
+	seen := map[int]bool{}
+	for _, pkt := range got {
+		seen[pkt.Payload.(int)] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("duplicate or missing payloads: %v", seen)
+	}
+	if in.Stats.Retries == 0 {
+		t.Fatalf("no send retries at 50%% drops: %+v", in.Stats)
+	}
+}
+
+// Failed registrations are retried; every failed try still pays the cost.
+func TestRegFailRetried(t *testing.T) {
+	cfg := fault.DefaultConfig(2)
+	cfg.RegFailRate = 0.5
+	rg, in := newFaultRig(1, cfg)
+	var elapsed sim.Time
+	rg.k.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			buf := rg.sp[0].Alloc(4096, false)
+			rg.ctx[0].RegisterMR(p, buf.Addr(), 4096)
+		}
+		elapsed = p.Now()
+	})
+	rg.k.Run()
+	if in.Stats.RegFails == 0 {
+		t.Fatalf("no registration failures at 50%%: %+v", in.Stats)
+	}
+	wantRegs := int64(10) + in.Stats.RegFails
+	if rg.r.Registrations != wantRegs {
+		t.Fatalf("Registrations = %d, want %d (failed tries pay too)", rg.r.Registrations, wantRegs)
+	}
+	if want := sim.Time(wantRegs) * rg.r.Costs().RegCost(4096); elapsed != want {
+		t.Fatalf("elapsed %v, want %v", elapsed, want)
+	}
+}
+
+// A rate-zero injector must leave timing bit-identical to no injector.
+func TestZeroRateInjectorZeroOverhead(t *testing.T) {
+	run := func(cfg *fault.Config) sim.Time {
+		var rg *rig
+		if cfg != nil {
+			rg, _ = newFaultRig(2, cfg)
+		} else {
+			rg = newRig(2)
+		}
+		src := rg.sp[0].Alloc(8192, true)
+		dst := rg.sp[1].Alloc(8192, true)
+		var done sim.Time
+		rg.k.Spawn("p", func(p *sim.Proc) {
+			smr := rg.ctx[0].RegisterMR(p, src.Addr(), 8192)
+			dmr := rg.ctx[1].RegisterMR(p, dst.Addr(), 8192)
+			for i := 0; i < 4; i++ {
+				if err := rg.ctx[0].PostWrite(p, WriteOp{
+					LocalKey: smr.LKey(), LocalAddr: src.Addr(),
+					RemoteKey: dmr.RKey(), RemoteAddr: dst.Addr(), Size: 8192,
+					OnRemoteComplete: func(at sim.Time) { done = at },
+				}); err != nil {
+					t.Fatalf("PostWrite: %v", err)
+				}
+			}
+		})
+		rg.k.Run()
+		return done
+	}
+	bare := run(nil)
+	silent := run(fault.DefaultConfig(123)) // all rates zero
+	if bare == 0 || bare != silent {
+		t.Fatalf("rate-zero injector changed timing: %v vs %v", bare, silent)
+	}
+}

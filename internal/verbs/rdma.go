@@ -1,6 +1,9 @@
 package verbs
 
 import (
+	"fmt"
+
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/sim"
 )
@@ -14,7 +17,8 @@ type WriteOp struct {
 	Size       int
 
 	// OnLocalComplete fires (handler context) when the sender endpoint has
-	// finished injecting the message (CQE on the posting side).
+	// finished injecting the message (CQE on the posting side). Under fault
+	// injection it fires once, for the attempt that succeeds.
 	OnLocalComplete func(at sim.Time)
 	// OnRemoteComplete fires (handler context) when the data has landed in
 	// the destination memory.
@@ -22,12 +26,20 @@ type WriteOp struct {
 	// Notify, if non-nil, is delivered into the destination context's inbox
 	// with the data (RDMA write with immediate).
 	Notify *Packet
+	// OnError fires (handler context) if fault injection exhausts the
+	// operation's retry budget; the op will never complete. Nil leaves the
+	// failure counted in fault.Stats and traced only.
+	OnError func(at sim.Time)
 }
 
 // PostWrite posts an RDMA write on behalf of p through c's endpoint.
 // Data is read from the lkey's backing space (which, for cross-GVMI mkeys,
 // is a *host* space even though c lives on the DPU) and written into the
 // rkey's space. Both keys are validated like an HCA would.
+//
+// Under fault injection the NIC retransmits autonomously on error CQEs and
+// wire loss (exponential backoff, no further CPU cost); after the retry
+// budget the op terminates via OnError.
 func (c *Ctx) PostWrite(p *sim.Proc, op WriteOp) error {
 	src, err := c.reg.lookupKey(op.LocalKey, op.LocalAddr, op.Size)
 	if err != nil {
@@ -46,7 +58,40 @@ func (c *Ctx) PostWrite(p *sim.Proc, op WriteOp) error {
 	}
 	k := c.reg.f.Kernel()
 	dstCtx := dst.ctx
-	txDone, _ := c.reg.f.Transfer(c.ep, dstCtx.ep, op.Size+c.reg.costs.RDMAHdr, func() {
+	if c.reg.inj == nil {
+		txDone, _ := c.reg.f.Transfer(c.ep, dstCtx.ep, op.Size+c.reg.costs.RDMAHdr, func() {
+			dst.space.WriteAt(op.RemoteAddr, payload, op.Size)
+			if op.Notify != nil {
+				dstCtx.deliver(op.Notify)
+			}
+			if op.OnRemoteComplete != nil {
+				op.OnRemoteComplete(k.Now())
+			}
+		})
+		if op.OnLocalComplete != nil {
+			k.At(txDone-k.Now(), func() { op.OnLocalComplete(k.Now()) })
+		}
+		return nil
+	}
+	c.writeAttempt(op, dst, dstCtx, payload, 1)
+	return nil
+}
+
+// writeAttempt performs one try of a (possibly retransmitted) RDMA write.
+// It may run in process context (first attempt, from PostWrite) or handler
+// context (retransmissions); it consumes no CPU time itself.
+func (c *Ctx) writeAttempt(op WriteOp, dst *MR, dstCtx *Ctx, payload []byte, attempt int) {
+	k := c.reg.f.Kernel()
+	inj := c.reg.inj
+	if inj.CQError() {
+		// The WQE completed with an error status before reaching the wire.
+		inj.Note(k.Now(), c.name, "cq-error", fmt.Sprintf("write size=%d attempt=%d", op.Size, attempt))
+		c.retryOrFail("write", op.Size, attempt, k.Now(),
+			func() { c.writeAttempt(op, dst, dstCtx, payload, attempt+1) },
+			op.OnError)
+		return
+	}
+	txDone, _, fate := c.reg.f.TransferFated(c.ep, dstCtx.ep, op.Size+c.reg.costs.RDMAHdr, func() {
 		dst.space.WriteAt(op.RemoteAddr, payload, op.Size)
 		if op.Notify != nil {
 			dstCtx.deliver(op.Notify)
@@ -55,10 +100,37 @@ func (c *Ctx) PostWrite(p *sim.Proc, op WriteOp) error {
 			op.OnRemoteComplete(k.Now())
 		}
 	})
+	if fate == fault.FateDrop || fate == fault.FateCorrupt {
+		// The transport timer will fire after the injection completed.
+		c.retryOrFail("write", op.Size, attempt, txDone,
+			func() { c.writeAttempt(op, dst, dstCtx, payload, attempt+1) },
+			op.OnError)
+		return
+	}
 	if op.OnLocalComplete != nil {
 		k.At(txDone-k.Now(), func() { op.OnLocalComplete(k.Now()) })
 	}
-	return nil
+}
+
+// retryOrFail schedules a retransmission with exponential backoff measured
+// from `from`, or terminates the operation when the budget is exhausted.
+func (c *Ctx) retryOrFail(kind string, size, attempt int, from sim.Time, again func(), onErr func(at sim.Time)) {
+	k := c.reg.f.Kernel()
+	inj := c.reg.inj
+	rc := inj.Retry()
+	if attempt >= rc.MaxAttempts {
+		inj.Stats.Exhausted++
+		inj.Note(k.Now(), c.name, "retry-exhausted",
+			fmt.Sprintf("%s size=%d after %d attempts", kind, size, attempt))
+		if onErr != nil {
+			k.At(from-k.Now(), func() { onErr(k.Now()) })
+		}
+		return
+	}
+	inj.Stats.Retries++
+	inj.Note(k.Now(), c.name, "retry",
+		fmt.Sprintf("%s size=%d attempt=%d backoff=%s", kind, size, attempt, rc.Delay(attempt)))
+	k.At(from-k.Now()+rc.Delay(attempt), again)
 }
 
 // ReadOp describes one RDMA-read work request.
@@ -71,10 +143,13 @@ type ReadOp struct {
 
 	// OnComplete fires when the fetched data has landed locally.
 	OnComplete func(at sim.Time)
+	// OnError fires if fault injection exhausts the retry budget.
+	OnError func(at sim.Time)
 }
 
 // PostRead posts an RDMA read: a small request travels to the remote
 // endpoint, whose HCA streams the data back without remote CPU involvement.
+// Under fault injection, loss of either leg retries the whole operation.
 func (c *Ctx) PostRead(p *sim.Proc, op ReadOp) error {
 	dst, err := c.reg.lookupKey(op.LocalKey, op.LocalAddr, op.Size)
 	if err != nil {
@@ -88,22 +163,62 @@ func (c *Ctx) PostRead(p *sim.Proc, op ReadOp) error {
 
 	k := c.reg.f.Kernel()
 	srcCtx := src.ctx
-	// Request packet to the remote HCA.
-	c.reg.f.Transfer(c.ep, srcCtx.ep, c.reg.costs.ReadReqLen, func() {
-		// Remote HCA responds autonomously with the data.
+	if c.reg.inj == nil {
+		// Request packet to the remote HCA.
+		c.reg.f.Transfer(c.ep, srcCtx.ep, c.reg.costs.ReadReqLen, func() {
+			// Remote HCA responds autonomously with the data.
+			var payload []byte
+			if d := src.space.ReadAt(op.RemoteAddr, op.Size); d != nil {
+				payload = make([]byte, op.Size)
+				copy(payload, d)
+			}
+			c.reg.f.Transfer(srcCtx.ep, c.ep, op.Size+c.reg.costs.RDMAHdr, func() {
+				dst.space.WriteAt(op.LocalAddr, payload, op.Size)
+				if op.OnComplete != nil {
+					op.OnComplete(k.Now())
+				}
+			})
+		})
+		return nil
+	}
+	c.readAttempt(op, dst, src, srcCtx, 1)
+	return nil
+}
+
+// readAttempt performs one try of a (possibly retransmitted) RDMA read.
+func (c *Ctx) readAttempt(op ReadOp, dst, src *MR, srcCtx *Ctx, attempt int) {
+	k := c.reg.f.Kernel()
+	inj := c.reg.inj
+	if inj.CQError() {
+		inj.Note(k.Now(), c.name, "cq-error", fmt.Sprintf("read size=%d attempt=%d", op.Size, attempt))
+		c.retryOrFail("read", op.Size, attempt, k.Now(),
+			func() { c.readAttempt(op, dst, src, srcCtx, attempt+1) },
+			op.OnError)
+		return
+	}
+	reqTx, _, reqFate := c.reg.f.TransferFated(c.ep, srcCtx.ep, c.reg.costs.ReadReqLen, func() {
 		var payload []byte
 		if d := src.space.ReadAt(op.RemoteAddr, op.Size); d != nil {
 			payload = make([]byte, op.Size)
 			copy(payload, d)
 		}
-		c.reg.f.Transfer(srcCtx.ep, c.ep, op.Size+c.reg.costs.RDMAHdr, func() {
+		respTx, _, respFate := c.reg.f.TransferFated(srcCtx.ep, c.ep, op.Size+c.reg.costs.RDMAHdr, func() {
 			dst.space.WriteAt(op.LocalAddr, payload, op.Size)
 			if op.OnComplete != nil {
 				op.OnComplete(k.Now())
 			}
 		})
+		if respFate == fault.FateDrop || respFate == fault.FateCorrupt {
+			c.retryOrFail("read-resp", op.Size, attempt, respTx,
+				func() { c.readAttempt(op, dst, src, srcCtx, attempt+1) },
+				op.OnError)
+		}
 	})
-	return nil
+	if reqFate == fault.FateDrop || reqFate == fault.FateCorrupt {
+		c.retryOrFail("read-req", op.Size, attempt, reqTx,
+			func() { c.readAttempt(op, dst, src, srcCtx, attempt+1) },
+			op.OnError)
+	}
 }
 
 // Packet is a two-sided control message (RTS/RTR/FIN, rendezvous handshakes,
@@ -119,11 +234,34 @@ type Packet struct {
 
 // PostSend transmits a control packet to dst's inbox. The receiving process
 // is not involved until it drains its inbox (PollInbox); arrival only
-// signals dst.InboxCond.
+// signals dst.InboxCond. Under fault injection lost packets are
+// retransmitted like any other work request, so the control plane tolerates
+// the same faults as the data plane.
 func (c *Ctx) PostSend(p *sim.Proc, dst *Ctx, pkt *Packet) {
 	pkt.From = c
 	p.AdvanceBusy(c.reg.costs.PostWR)
-	c.reg.f.Transfer(c.ep, dst.ep, pkt.Size, func() { dst.deliver(pkt) })
+	if c.reg.inj == nil {
+		c.reg.f.Transfer(c.ep, dst.ep, pkt.Size, func() { dst.deliver(pkt) })
+		return
+	}
+	c.sendAttempt(dst, pkt, 1)
+}
+
+// sendAttempt performs one try of a (possibly retransmitted) control send.
+func (c *Ctx) sendAttempt(dst *Ctx, pkt *Packet, attempt int) {
+	k := c.reg.f.Kernel()
+	inj := c.reg.inj
+	if inj.CQError() {
+		inj.Note(k.Now(), c.name, "cq-error", fmt.Sprintf("send %s attempt=%d", pkt.Kind, attempt))
+		c.retryOrFail("send", pkt.Size, attempt, k.Now(),
+			func() { c.sendAttempt(dst, pkt, attempt+1) }, nil)
+		return
+	}
+	txDone, _, fate := c.reg.f.TransferFated(c.ep, dst.ep, pkt.Size, func() { dst.deliver(pkt) })
+	if fate == fault.FateDrop || fate == fault.FateCorrupt {
+		c.retryOrFail("send", pkt.Size, attempt, txDone,
+			func() { c.sendAttempt(dst, pkt, attempt+1) }, nil)
+	}
 }
 
 // deliver appends to the inbox in handler context.

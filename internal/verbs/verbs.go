@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/sim"
 )
@@ -60,6 +61,7 @@ type Registry struct {
 	costs   CostConfig
 	nextKey Key
 	mrs     map[Key]*MR
+	inj     *fault.Injector // nil = no fault injection
 
 	// Stats
 	Registrations int64
@@ -76,6 +78,16 @@ func (r *Registry) Costs() CostConfig { return r.costs }
 
 // Fabric returns the underlying fabric.
 func (r *Registry) Fabric() *fabric.Fabric { return r.f }
+
+// SetInjector attaches a fault injector: posted operations then draw error
+// CQEs and fabric fates, and failed attempts are retransmitted with
+// exponential backoff up to the injector's retry budget. Nil (the default)
+// keeps the original no-error fast paths, bit-identical to a build without
+// the fault subsystem.
+func (r *Registry) SetInjector(inj *fault.Injector) { r.inj = inj }
+
+// Injector returns the attached fault injector (nil when faults are off).
+func (r *Registry) Injector() *fault.Injector { return r.inj }
 
 // Ctx is a per-process verbs context: the process's protection domain,
 // address space, and the endpoint its work requests are injected through.
@@ -140,9 +152,18 @@ var (
 )
 
 // RegisterMR pins [addr, addr+size) in c's space, charging the registration
-// cost to p. It corresponds to ibv_reg_mr.
+// cost to p. It corresponds to ibv_reg_mr. Under fault injection a
+// registration attempt may fail (pinning pressure); each failed attempt
+// pays the full cost and is retried until it succeeds.
 func (c *Ctx) RegisterMR(p *sim.Proc, addr mem.Addr, size int) *MR {
 	cost := c.reg.costs.RegCost(size)
+	for c.reg.inj.RegFail() {
+		c.reg.Registrations++
+		c.reg.RegTime += cost
+		p.AdvanceBusy(cost)
+		c.reg.inj.Note(p.Now(), c.name, "reg-fail",
+			fmt.Sprintf("addr=%d size=%d (retrying)", addr, size))
+	}
 	c.reg.Registrations++
 	c.reg.RegTime += cost
 	p.AdvanceBusy(cost)
