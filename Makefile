@@ -1,9 +1,10 @@
 # Repro build/test entry points. `make check` is the full gate: static
-# analysis, a clean build, and the test suite under the race detector.
+# analysis, a clean build, the test suite under the race detector, and
+# schema validation of the checked-in perf baseline.
 
 GO ?= go
 
-.PHONY: all build test vet race check bench
+.PHONY: all build test vet race check bench bench-snapshot snapshot-check
 
 all: build
 
@@ -19,7 +20,16 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet build race
+check: vet build race snapshot-check
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./internal/bench/
+
+# Regenerate the checked-in perf baseline after an intentional timing change.
+bench-snapshot:
+	$(GO) run ./cmd/offloadbench bench-snapshot -o BENCH_fig13.json
+	$(GO) test -run TestCheckedInBenchSnapshotValid ./internal/bench/
+
+# Validate the checked-in baseline's schema and pinned timings.
+snapshot-check:
+	$(GO) test -run 'TestCheckedInBenchSnapshotValid|TestFig13SnapshotMatchesPinnedGuards' ./internal/bench/

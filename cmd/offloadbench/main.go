@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/figures"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -40,6 +41,8 @@ func main() {
 		nb     = fs.Int("nb", 256, "HPL block size")
 		seed   = fs.Int64("seed", 42, "chaos fault-injection seed")
 		size   = fs.Int("size", 32<<10, "chaos message size in bytes")
+		mout   = fs.String("metrics", "", "write a metrics snapshot after the run: JSON to <path>, Prometheus text to <path>.prom")
+		outp   = fs.String("o", "BENCH_fig13.json", "output path for bench-snapshot")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -48,6 +51,35 @@ func main() {
 	p := params{ppn: *ppn, iters: *iters, warmup: *warmup, full: *full, memGB: *memGB, nb: *nb,
 		seed: *seed, size: *size}
 	out := os.Stdout
+
+	if fig == "bench-snapshot" {
+		snap := bench.Fig13Snapshot()
+		if err := snap.Validate(); err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*outp)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteBenchSnapshot(f, snap); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "wrote %s (%d series, %d counter series)\n",
+			*outp, len(snap.Series), len(snap.Metrics.Counters))
+		return
+	}
+
+	// -metrics attaches one registry to every environment the run builds.
+	// Metric updates never consume virtual time, so figure outputs are
+	// unchanged (bit-exactness is guarded by the bench tests).
+	var reg *metrics.Registry
+	if *mout != "" {
+		reg = metrics.NewRegistry()
+		bench.DefaultMetrics = reg
+	}
 
 	run := func(name string) {
 		switch name {
@@ -107,10 +139,46 @@ func main() {
 			"fig13", "fig14", "fig15", "fig16a", "fig16b", "fig16c", "fig17", "ablation", "ext-bf3", "ext-allgather", "chaos"} {
 			run(name)
 		}
-		return
+	} else {
+		run(fig)
 	}
-	run(fig)
-	_ = bench.Options{} // keep import stable if figures change
+	if reg != nil {
+		if err := writeMetrics(*mout, reg); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "metrics: %s, %s.prom\n", *mout, *mout)
+	}
+}
+
+// writeMetrics exports the registry as JSON to path and as Prometheus text
+// exposition format to path.prom.
+func writeMetrics(path string, reg *metrics.Registry) error {
+	snap := reg.Snapshot()
+	jf, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	pf, err := os.Create(path + ".prom")
+	if err != nil {
+		return err
+	}
+	if err := snap.WritePrometheus(pf); err != nil {
+		pf.Close()
+		return err
+	}
+	return pf.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "offloadbench:", err)
+	os.Exit(1)
 }
 
 // params resolves per-figure defaults vs the -full flag.
@@ -222,6 +290,9 @@ figures:
   ext-allgather  Iallgather (ref [9] workload) across schemes
   chaos    Ialltoall under fault injection (rates 0, 1e-4, 1e-3, 1e-2)
   all      everything above
+  bench-snapshot  regenerate the BENCH_fig13.json perf baseline (-o path)
 
-flags: -ppn N -iters N -warmup N -full -memgb N -nb N -seed N -size N`)
+flags: -ppn N -iters N -warmup N -full -memgb N -nb N -seed N -size N
+       -metrics PATH (export run metrics: JSON to PATH, Prometheus to PATH.prom)
+       -o PATH (bench-snapshot output, default BENCH_fig13.json)`)
 }

@@ -10,9 +10,16 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/coll"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 )
+
+// DefaultMetrics, when set, is attached to every environment Build creates
+// that does not carry its own registry (Options.Metrics or a full cluster
+// override). offloadbench sets it from the -metrics flag so all figure
+// paths record without threading a registry through every signature.
+var DefaultMetrics *metrics.Registry
 
 // Options describe one benchmark environment.
 type Options struct {
@@ -23,6 +30,11 @@ type Options struct {
 	ProxiesPerDPU int             // 0 = cluster default
 	Cluster       *cluster.Config // full override (optional)
 	Core          *core.Config    // framework override (optional)
+
+	// Metrics attaches a registry to the environment's cluster. Metrics
+	// never consume virtual time, so results are unchanged (guarded
+	// bit-exactly by TestMetricsLiveRegistryMatchesFig13Exactly).
+	Metrics *metrics.Registry
 }
 
 // Env is a ready-to-launch benchmark environment.
@@ -49,6 +61,13 @@ func Build(opt Options) *Env {
 	ccfg.BackedPayload = opt.Backed
 	if opt.ProxiesPerDPU > 0 {
 		ccfg.ProxiesPerDPU = opt.ProxiesPerDPU
+	}
+	if ccfg.Metrics == nil {
+		if opt.Metrics != nil {
+			ccfg.Metrics = opt.Metrics
+		} else {
+			ccfg.Metrics = DefaultMetrics
+		}
 	}
 	cl := cluster.New(ccfg)
 	w := mpi.NewWorld(cl, mpi.DefaultConfig())

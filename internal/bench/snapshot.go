@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/metrics"
+)
+
+// BenchSchema is the schema tag of perf-regression snapshot files
+// (BENCH_fig13.json); bump it when the layout changes incompatibly.
+const BenchSchema = "offload-bench/v1"
+
+// BenchPoint is one measured configuration of the snapshot's figure.
+type BenchPoint struct {
+	Size       int     `json:"size"`
+	Backed     bool    `json:"backed"`
+	PureNS     int64   `json:"pure_ns"`
+	ComputeNS  int64   `json:"compute_ns"`
+	OverallNS  int64   `json:"overall_ns"`
+	OverlapPct float64 `json:"overlap_pct"`
+}
+
+// BenchConfig records the environment the series was measured under.
+type BenchConfig struct {
+	Nodes  int    `json:"nodes"`
+	PPN    int    `json:"ppn"`
+	Warmup int    `json:"warmup"`
+	Iters  int    `json:"iters"`
+	Scheme string `json:"scheme"`
+}
+
+// BenchSnapshot is the checked-in perf-regression baseline: the headline
+// virtual timings of a figure plus the full metrics snapshot of the runs
+// that produced them. Timings are deterministic, so any diff against the
+// checked-in file is a real behaviour change.
+type BenchSnapshot struct {
+	Schema  string           `json:"schema"`
+	Figure  string           `json:"figure"`
+	Config  BenchConfig      `json:"config"`
+	Series  []BenchPoint     `json:"series"`
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// fig13SnapshotPoints are the measured configurations, chosen to match the
+// pinned guard constants in chaos_test.go so the snapshot and the test
+// suite can never drift apart silently.
+var fig13SnapshotPoints = []struct {
+	size   int
+	backed bool
+}{
+	{8 << 10, false},
+	{64 << 10, false},
+	{4 << 10, true},
+}
+
+// Fig13Snapshot measures the fig13 guard configurations (Proposed scheme,
+// 2 nodes x 4 PPN, warmup 1, iters 2) with a live metrics registry attached
+// and packages timings plus metrics into a BenchSnapshot.
+func Fig13Snapshot() BenchSnapshot {
+	const warmup, iters = 1, 2
+	met := metrics.NewRegistry()
+	s := BenchSnapshot{
+		Schema: BenchSchema,
+		Figure: "fig13",
+		Config: BenchConfig{Nodes: 2, PPN: 4, Warmup: warmup, Iters: iters,
+			Scheme: baseline.NameProposed},
+	}
+	for _, pt := range fig13SnapshotPoints {
+		opt := Options{Nodes: 2, PPN: 4, Scheme: baseline.NameProposed,
+			Backed: pt.backed, Metrics: met}
+		r := MeasureIalltoall(opt, pt.size, warmup, iters)
+		s.Series = append(s.Series, BenchPoint{
+			Size:       pt.size,
+			Backed:     pt.backed,
+			PureNS:     int64(r.PureComm),
+			ComputeNS:  int64(r.Compute),
+			OverallNS:  int64(r.Overall),
+			OverlapPct: r.Overlap,
+		})
+	}
+	s.Metrics = met.Snapshot()
+	return s
+}
+
+// WriteBenchSnapshot writes the snapshot as indented JSON.
+func WriteBenchSnapshot(w io.Writer, s BenchSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ParseBenchSnapshot decodes and validates a JSON snapshot (the round-trip
+// inverse of WriteBenchSnapshot).
+func ParseBenchSnapshot(data []byte) (BenchSnapshot, error) {
+	var s BenchSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("bench: invalid snapshot JSON: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// Validate checks schema conformance of the snapshot and of the embedded
+// metrics section.
+func (s BenchSnapshot) Validate() error {
+	if s.Schema != BenchSchema {
+		return fmt.Errorf("bench: schema %q, want %q", s.Schema, BenchSchema)
+	}
+	if s.Figure == "" {
+		return fmt.Errorf("bench: snapshot has no figure name")
+	}
+	if s.Config.Nodes <= 0 || s.Config.PPN <= 0 || s.Config.Iters <= 0 || s.Config.Scheme == "" {
+		return fmt.Errorf("bench: incomplete config %+v", s.Config)
+	}
+	if len(s.Series) == 0 {
+		return fmt.Errorf("bench: snapshot has no series")
+	}
+	for i, p := range s.Series {
+		if p.Size <= 0 {
+			return fmt.Errorf("bench: series[%d] size %d", i, p.Size)
+		}
+		if p.PureNS <= 0 || p.OverallNS <= 0 || p.ComputeNS < 0 {
+			return fmt.Errorf("bench: series[%d] non-positive timings %+v", i, p)
+		}
+		if p.OverlapPct < 0 || p.OverlapPct > 100 {
+			return fmt.Errorf("bench: series[%d] overlap %g out of range", i, p.OverlapPct)
+		}
+	}
+	return s.Metrics.Validate()
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/gvmi"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/verbs"
@@ -47,6 +48,12 @@ type Config struct {
 	// timeouts, proxy failover) in the offload framework. Nil keeps every
 	// fast path bit-identical to a fault-free build.
 	Fault *fault.Config
+
+	// Metrics, when non-nil, records per-layer counters, gauges and
+	// histograms across fabric, verbs, regcache, core and mpi. Metrics never
+	// consume virtual time; nil keeps every fast path untouched (the fig13
+	// guards enforce both properties bit-exactly).
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the standard testbed with the given shape.
@@ -124,6 +131,10 @@ type Cluster struct {
 	// recorded in Trace.
 	Inj *fault.Injector
 
+	// Met is the metrics registry from Cfg.Metrics (nil when metrics are
+	// off); downstream layers (core, mpi) instrument themselves through it.
+	Met *metrics.Registry
+
 	Nodes []*Node
 }
 
@@ -145,6 +156,13 @@ func New(cfg Config) *Cluster {
 		f.SetInjector(inj)
 		reg.SetInjector(inj)
 		c.Inj = inj
+	}
+	if cfg.Metrics.Enabled() {
+		// Attach before endpoints are created: endpoints bind their counter
+		// handles in NewEndpoint.
+		f.SetMetrics(cfg.Metrics)
+		reg.SetMetrics(cfg.Metrics)
+		c.Met = cfg.Metrics
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.Nodes = append(c.Nodes, &Node{

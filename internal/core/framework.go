@@ -126,6 +126,8 @@ func New(cl *cluster.Cluster, cfg Config, sites []*cluster.Site) *Framework {
 		}
 		h.gvmiCache = regcache.New[gvmi.MKeyInfo](nProxies, 0, nil)
 		h.ibCache = regcache.New[*verbs.MR](1, 0, func(mr *verbs.MR) { mr.Deregister() })
+		h.gvmiCache.Instrument(cl.Met, fmt.Sprintf("gvmi.rank%d", r))
+		h.ibCache.Instrument(cl.Met, fmt.Sprintf("ib.rank%d", r))
 		if fw.crashesConfigured() {
 			// Crash tolerance: delivery counters move into host memory
 			// (dlvCtx receives the RDMA counter writes) and the host tracks

@@ -36,6 +36,8 @@ type proxyGroup struct {
 // installGroup handles a full Group_Offload_packet.
 func (px *Proxy) installGroup(m *groupPacket) {
 	px.GroupMiss++
+	px.mGroupMiss.Inc()
+	px.sampleQueueDepth()
 	k := groupKey{m.HostRank, m.GroupID}
 	g := px.groups[k]
 	if g == nil {
@@ -67,6 +69,8 @@ func (px *Proxy) replayGroup(m *greplayMsg) {
 		panic(fmt.Sprintf("core: proxy %d: replay of unknown group %d/%d", px.global, m.HostRank, m.GroupID))
 	}
 	px.GroupHits++
+	px.mGroupHits.Inc()
+	px.sampleQueueDepth()
 	if m.CallSeq > g.callSeq {
 		g.callSeq = m.CallSeq
 	}
@@ -160,6 +164,7 @@ func (px *Proxy) advanceGroup(g *proxyGroup) bool {
 	}
 	g.running = false
 	g.finishedSeq++
+	px.sampleQueueDepth()
 	// Completion-counter update to the host (the paper RDMA-writes a
 	// pre-registered counter; a minimal control packet has the same cost).
 	h := px.fw.hosts[g.host]

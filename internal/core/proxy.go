@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/gvmi"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/regcache"
 	"repro/internal/sim"
 	"repro/internal/verbs"
@@ -67,6 +68,12 @@ type Proxy struct {
 	StagedOps  int64
 	GroupHits  int64
 	GroupMiss  int64
+
+	// Metric handles; nil (inert) when metrics are off.
+	mGroupHits *metrics.Counter
+	mGroupMiss *metrics.Counter
+	mQDepth    *metrics.Gauge
+	mQDepthMax *metrics.Gauge
 }
 
 type pairMsg struct {
@@ -80,7 +87,7 @@ type stageBuf struct {
 }
 
 func newProxy(fw *Framework, global, node, local int, site *cluster.Site) *Proxy {
-	return &Proxy{
+	px := &Proxy{
 		fw:         fw,
 		global:     global,
 		node:       node,
@@ -94,6 +101,35 @@ func newProxy(fw *Framework, global, node, local int, site *cluster.Site) *Proxy
 		deliveries: make(map[deliveryKey]int),
 		stagePool:  make(map[int][]*stageBuf),
 	}
+	px.instrument()
+	return px
+}
+
+// instrument binds the proxy's metric handles; nil-safe and idempotent (the
+// series are get-or-create, so a crash that recreates the cross-registration
+// cache re-attaches it to the same counters).
+func (px *Proxy) instrument() {
+	m := px.fw.cl.Met
+	px.crossCache.Instrument(m, fmt.Sprintf("cross.proxy%d", px.global))
+	if !m.Enabled() {
+		return
+	}
+	name := fmt.Sprintf("proxy%d", px.global)
+	px.mGroupHits = m.Counter("core", name, "group_hits")
+	px.mGroupMiss = m.Counter("core", name, "group_misses")
+	px.mQDepth = m.Gauge("core", name, "queue_depth")
+	px.mQDepthMax = m.Gauge("core", name, "queue_depth_max")
+}
+
+// sampleQueueDepth records the proxy's backlog (control inbox, deferred
+// completions, matched-but-untransferred pairs) at group boundaries.
+func (px *Proxy) sampleQueueDepth() {
+	if px.mQDepth == nil {
+		return
+	}
+	d := float64(px.ctx.InboxLen() + len(px.deferred) + len(px.combined))
+	px.mQDepth.Set(d)
+	px.mQDepthMax.SetMax(d)
 }
 
 // GlobalID returns the proxy's global index.
@@ -175,6 +211,8 @@ func (px *Proxy) crash() {
 	px.deliveries = make(map[deliveryKey]int)
 	px.stagePool = make(map[int][]*stageBuf)
 	px.crossCache = regcache.New[*verbs.MR](fw.cl.Cfg.NP(), 0, func(mr *verbs.MR) { mr.Deregister() })
+	px.instrument()
+	fw.cl.Met.Counter("core", fmt.Sprintf("proxy%d", px.global), "crashes").Inc()
 	if inj := fw.cl.Inj; inj != nil {
 		inj.Stats.Crashes++
 		inj.Note(now, fmt.Sprintf("proxy%d", px.global), "crash", "process killed")
@@ -198,6 +236,7 @@ func (px *Proxy) restart() {
 	now := fw.cl.K.Now()
 	px.crashed = false
 	px.gen++
+	fw.cl.Met.Counter("core", fmt.Sprintf("proxy%d", px.global), "restarts").Inc()
 	if inj := fw.cl.Inj; inj != nil {
 		inj.Stats.Restarts++
 		inj.Note(now, fmt.Sprintf("proxy%d", px.global), "restart", "process restarted with empty state")

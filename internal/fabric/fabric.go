@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -47,11 +48,22 @@ type Endpoint struct {
 	txBusyUntil sim.Time
 	rxBusyUntil sim.Time
 
-	// Stats
-	MsgsSent  int64
-	BytesSent int64
-	MsgsRecv  int64
-	BytesRecv int64
+	// Stats. MsgsRecv/BytesRecv count goodput only: messages actually
+	// handed to the receiver. Corrupted messages (failed ICRC) occupy the
+	// port but land in MsgsDiscarded/BytesDiscarded instead.
+	MsgsSent       int64
+	BytesSent      int64
+	MsgsRecv       int64
+	BytesRecv      int64
+	MsgsDiscarded  int64
+	BytesDiscarded int64
+
+	// Metric handles; nil (inert) when the fabric has no metrics registry.
+	mMsgsTx, mBytesTx     *metrics.Counter
+	mMsgsRx, mBytesRx     *metrics.Counter
+	mMsgsDisc, mBytesDisc *metrics.Counter
+	mMsgsDropped          *metrics.Counter
+	mMsgsDelayed          *metrics.Counter
 }
 
 // Name returns the endpoint's diagnostic name.
@@ -119,7 +131,8 @@ type Fabric struct {
 	k   *sim.Kernel
 	cfg Config
 	eps []*Endpoint
-	inj *fault.Injector // nil = no fault injection
+	inj *fault.Injector   // nil = no fault injection
+	met *metrics.Registry // nil = no metrics
 }
 
 // New creates a fabric on kernel k.
@@ -137,12 +150,31 @@ func (f *Fabric) SetInjector(inj *fault.Injector) { f.inj = inj }
 // Injector returns the attached fault injector (nil when faults are off).
 func (f *Fabric) Injector() *fault.Injector { return f.inj }
 
+// SetMetrics attaches a metrics registry; nil disables metrics. Call it
+// before creating endpoints — each endpoint binds its counter handles at
+// creation time. Metrics never consume virtual time, so attaching a live
+// registry cannot move any simulated timestamp.
+func (f *Fabric) SetMetrics(m *metrics.Registry) { f.met = m }
+
+// Metrics returns the attached registry (nil when metrics are off).
+func (f *Fabric) Metrics() *metrics.Registry { return f.met }
+
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
 
 // NewEndpoint attaches a new port on the given node.
 func (f *Fabric) NewEndpoint(name string, node int, par Params) *Endpoint {
 	e := &Endpoint{f: f, name: name, node: node, par: par}
+	if m := f.met; m.Enabled() {
+		e.mMsgsTx = m.Counter("fabric", name, "msgs_tx")
+		e.mBytesTx = m.Counter("fabric", name, "bytes_tx")
+		e.mMsgsRx = m.Counter("fabric", name, "msgs_rx")
+		e.mBytesRx = m.Counter("fabric", name, "bytes_rx")
+		e.mMsgsDisc = m.Counter("fabric", name, "msgs_discarded")
+		e.mBytesDisc = m.Counter("fabric", name, "bytes_discarded")
+		e.mMsgsDropped = m.Counter("fabric", name, "msgs_dropped")
+		e.mMsgsDelayed = m.Counter("fabric", name, "msgs_delayed")
+	}
 	f.eps = append(f.eps, e)
 	return e
 }
@@ -173,14 +205,21 @@ func (f *Fabric) Transfer(src, dst *Endpoint, size int, deliver func()) (txDone,
 // occupies both endpoints but is discarded by the receiver's ICRC check
 // (deliver never runs for either); a delayed one is delivered DelaySpike
 // late. With no injector attached this is exactly Transfer.
-func (f *Fabric) TransferFated(src, dst *Endpoint, size int, deliver func()) (txDone, arrive sim.Time, fate fault.Fate) {
+//
+// delivered reports whether the deliver callback was (or would have been)
+// scheduled — true for FateDeliver and FateDelay, false for FateDrop and
+// FateCorrupt. arrive is only meaningful when delivered is true (for
+// FateCorrupt it is the end of port occupancy; for FateDrop it is zero and
+// must not be used as a timestamp).
+func (f *Fabric) TransferFated(src, dst *Endpoint, size int, deliver func()) (txDone, arrive sim.Time, delivered bool, fate fault.Fate) {
 	fate = f.inj.FateFor()
 	if fate != fault.FateDeliver {
 		f.inj.Note(f.k.Now(), "fabric", fate.String(),
 			fmt.Sprintf("%s->%s size=%d", src.name, dst.name, size))
 	}
 	txDone, arrive = f.transfer(src, dst, size, deliver, fate)
-	return txDone, arrive, fate
+	delivered = fate == fault.FateDeliver || fate == fault.FateDelay
+	return txDone, arrive, delivered, fate
 }
 
 // transfer computes endpoint occupancy and schedules delivery according to
@@ -207,9 +246,12 @@ func (f *Fabric) transfer(src, dst *Endpoint, size int, deliver func(), fate fau
 	src.txBusyUntil = txDone
 	src.MsgsSent++
 	src.BytesSent += int64(size)
+	src.mMsgsTx.Inc()
+	src.mBytesTx.Add(int64(size))
 
 	if fate == fault.FateDrop {
 		// Lost on the wire: the receiver never sees it.
+		src.mMsgsDropped.Inc()
 		return txDone, 0
 	}
 
@@ -220,16 +262,25 @@ func (f *Fabric) transfer(src, dst *Endpoint, size int, deliver func(), fate fau
 	}
 	arrive = rxStart + rxPar.serialize(size)
 	dst.rxBusyUntil = arrive
-	dst.MsgsRecv++
-	dst.BytesRecv += int64(size)
 
 	if fate == fault.FateCorrupt {
 		// Arrived but failed the ICRC check: occupies the port, then is
-		// discarded without delivery.
+		// discarded without delivery. Counted as discard, not goodput.
+		dst.MsgsDiscarded++
+		dst.BytesDiscarded += int64(size)
+		dst.mMsgsDisc.Inc()
+		dst.mBytesDisc.Add(int64(size))
 		return txDone, arrive
 	}
+	dst.MsgsRecv++
+	dst.BytesRecv += int64(size)
+	dst.mMsgsRx.Inc()
+	dst.mBytesRx.Add(int64(size))
 	if fate == fault.FateDelay {
 		// Switch-buffering excursion: delivery (not port occupancy) is late.
+		// The port frees at the nominal time, so later messages on the same
+		// port may overtake the delayed one; see DESIGN.md §6.
+		dst.mMsgsDelayed.Inc()
 		arrive += f.inj.Spike()
 	}
 
@@ -240,8 +291,10 @@ func (f *Fabric) transfer(src, dst *Endpoint, size int, deliver func(), fate fau
 }
 
 // ResetStats zeroes the counters of every endpoint (busy horizons are kept).
+// Metric series are cumulative and are not reset.
 func (f *Fabric) ResetStats() {
 	for _, e := range f.eps {
 		e.MsgsSent, e.BytesSent, e.MsgsRecv, e.BytesRecv = 0, 0, 0, 0
+		e.MsgsDiscarded, e.BytesDiscarded = 0, 0
 	}
 }

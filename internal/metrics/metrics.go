@@ -1,0 +1,224 @@
+// Package metrics is the observability layer of the simulated cluster: a
+// registry of typed counters, gauges and log₂-bucketed virtual-time
+// histograms keyed by (layer, entity, name). A *Registry is attached via
+// cluster.Config.Metrics and handed to every layer (fabric endpoints, the
+// verbs registry, registration caches, the offload framework, the MPI
+// library); each layer holds typed handles and bumps them as events happen.
+//
+// The design follows the trace.Log nil-safety discipline: a nil *Registry
+// hands out nil handles, and every handle method is nil-safe, so a build
+// without metrics pays nothing and — crucially — no method ever consumes
+// virtual time, so enabling metrics cannot move a single simulated
+// timestamp. Both properties are enforced bit-exactly against the fig13
+// pinned timings (internal/bench).
+//
+// Snapshots export deterministically (keys sorted) as BENCH-compatible JSON
+// and as Prometheus text format; see export.go.
+package metrics
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Key identifies one series: the layer that owns it ("fabric", "verbs",
+// "regcache", "core", "mpi"), the entity within the layer (an endpoint,
+// cache or process name; "all" for layer-wide aggregates) and the metric
+// name (snake_case, with a unit suffix such as _ns where applicable).
+type Key struct {
+	Layer  string
+	Entity string
+	Name   string
+}
+
+// less orders keys for deterministic export.
+func (k Key) less(o Key) bool {
+	if k.Layer != o.Layer {
+		return k.Layer < o.Layer
+	}
+	if k.Entity != o.Entity {
+		return k.Entity < o.Entity
+	}
+	return k.Name < o.Name
+}
+
+// Counter is a monotonically increasing int64. All methods are nil-safe; a
+// nil handle (from a nil registry) discards everything.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one; nil-safe.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n; nil-safe.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count; nil-safe.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-written float64 (queue depths, pool sizes). All methods
+// are nil-safe.
+type Gauge struct {
+	v float64
+}
+
+// Set records the current value; nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// SetMax raises the gauge to v if v is larger (high-water marks); nil-safe.
+func (g *Gauge) SetMax(v float64) {
+	if g != nil && v > g.v {
+		g.v = v
+	}
+}
+
+// Value returns the last written value; nil-safe.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// histBuckets is the number of log₂ buckets: bucket 0 holds zero-valued
+// observations, bucket i (i ≥ 1) holds values in [2^(i-1), 2^i). 63 buckets
+// cover the full non-negative sim.Time range.
+const histBuckets = 64
+
+// Histogram accumulates virtual-time durations in log₂ buckets. All
+// methods are nil-safe. Negative observations are clamped to zero (they do
+// not occur in practice; the clamp keeps bucket math total).
+type Histogram struct {
+	count   int64
+	sum     sim.Time
+	buckets [histBuckets]int64
+}
+
+// Observe records one duration; nil-safe.
+func (h *Histogram) Observe(d sim.Time) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count++
+	h.sum += d
+	h.buckets[bits.Len64(uint64(d))]++
+}
+
+// Count returns the number of observations; nil-safe.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the total of all observations; nil-safe.
+func (h *Histogram) Sum() sim.Time {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Registry owns every series of one simulation. The zero value is unusable;
+// use NewRegistry. A nil *Registry is valid, hands out nil handles, and
+// therefore disables the whole layer at zero cost (mirroring trace.Log).
+//
+// The simulation kernel is single-threaded, so plain maps and fields are
+// race-free.
+type Registry struct {
+	counters map[Key]*Counter
+	gauges   map[Key]*Gauge
+	hists    map[Key]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[Key]*Counter),
+		gauges:   make(map[Key]*Gauge),
+		hists:    make(map[Key]*Histogram),
+	}
+}
+
+// Enabled reports whether metrics are being recorded; nil-safe.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Counter returns (creating if needed) the counter for (layer, entity,
+// name); nil-safe — a nil registry returns a nil handle. Series exist from
+// first request, so zero-valued counters still export.
+func (r *Registry) Counter(layer, entity, name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := Key{layer, entity, name}
+	c := r.counters[k]
+	if c == nil {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge for (layer, entity, name);
+// nil-safe.
+func (r *Registry) Gauge(layer, entity, name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := Key{layer, entity, name}
+	g := r.gauges[k]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram for (layer, entity,
+// name); nil-safe.
+func (r *Registry) Histogram(layer, entity, name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := Key{layer, entity, name}
+	h := r.hists[k]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// sortedKeys returns the map keys in deterministic export order.
+func sortedKeys[V any](m map[Key]V) []Key {
+	out := make([]Key, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}

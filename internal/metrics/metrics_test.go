@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// A nil registry and all handles it produces must be inert and safe.
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("fabric", "ep", "msgs_tx")
+	g := r.Gauge("core", "proxy0", "queue_depth")
+	h := r.Histogram("verbs", "all", "reg_latency_ns")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out live handles")
+	}
+	c.Inc()
+	c.Add(7)
+	g.Set(3)
+	g.SetMax(9)
+	h.Observe(5 * sim.Microsecond)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles accumulated state")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot non-empty: %+v", snap)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("empty snapshot invalid: %v", err)
+	}
+}
+
+// Series are identity-cached: the same key returns the same handle.
+func TestSeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("fabric", "n0.host", "msgs_tx")
+	b := r.Counter("fabric", "n0.host", "msgs_tx")
+	if a != b {
+		t.Fatal("same key produced distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("handles do not share state")
+	}
+	if r.Counter("fabric", "n0.host", "msgs_rx") == a {
+		t.Fatal("distinct keys share a counter")
+	}
+}
+
+// Histogram observations land in log2 buckets: bucket bounds are powers of
+// two and the zero bucket is separate.
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("verbs", "all", "lat_ns")
+	for _, d := range []sim.Time{0, 1, 1, 2, 3, 4, 1000, -5} {
+		h.Observe(d)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 0+1+1+2+3+4+1000+0 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	hp := r.Snapshot().Histograms[0]
+	want := []BucketPoint{
+		{Lt: 1, Count: 2},    // the two zeros (0 and clamped -5)
+		{Lt: 2, Count: 2},    // 1, 1
+		{Lt: 4, Count: 2},    // 2, 3
+		{Lt: 8, Count: 1},    // 4
+		{Lt: 1024, Count: 1}, // 1000
+	}
+	if !reflect.DeepEqual(hp.Buckets, want) {
+		t.Fatalf("buckets = %+v, want %+v", hp.Buckets, want)
+	}
+}
+
+func sampleRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("fabric", "n0.host", "msgs_tx").Add(12)
+	r.Counter("fabric", "n0.host", "bytes_tx").Add(4096)
+	r.Counter("fabric", "n1.host", "msgs_discarded") // zero-valued, still exports
+	r.Gauge("core", "proxy0", "queue_depth").Set(3)
+	r.Gauge("core", "proxy0", "queue_depth_max").SetMax(7)
+	hh := r.Histogram("verbs", "all", "reg_latency_ns")
+	hh.Observe(2 * sim.Microsecond)
+	hh.Observe(3 * sim.Microsecond)
+	return r
+}
+
+// JSON round-trip: WriteJSON then ParseSnapshot reproduces the snapshot
+// exactly, including zero-valued series and deterministic ordering.
+func TestJSONRoundTrip(t *testing.T) {
+	snap := sampleRegistry().Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", snap, back)
+	}
+	// Determinism: two snapshots of the same registry serialize identically.
+	var buf2 bytes.Buffer
+	if err := sampleRegistry().Snapshot().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("snapshot serialization is not deterministic")
+	}
+}
+
+// Prometheus round-trip (structural): every series appears with the
+// offload_<layer>_<name> naming, entity labels, and cumulative histogram
+// buckets ending in +Inf.
+func TestPrometheusExport(t *testing.T) {
+	snap := sampleRegistry().Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE offload_fabric_msgs_tx counter",
+		`offload_fabric_msgs_tx{entity="n0.host"} 12`,
+		`offload_fabric_msgs_discarded{entity="n1.host"} 0`,
+		`offload_core_queue_depth{entity="proxy0"} 3`,
+		`offload_core_queue_depth_max{entity="proxy0"} 7`,
+		"# TYPE offload_verbs_reg_latency_ns histogram",
+		`offload_verbs_reg_latency_ns_bucket{entity="all",le="+Inf"} 2`,
+		`offload_verbs_reg_latency_ns_sum{entity="all"} 5000`,
+		`offload_verbs_reg_latency_ns_count{entity="all"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One # TYPE line per metric name, even with several entities.
+	if n := strings.Count(out, "# TYPE offload_fabric_msgs_tx "); n != 1 {
+		t.Fatalf("TYPE header emitted %d times", n)
+	}
+}
+
+// Validate rejects malformed snapshots.
+func TestValidateRejectsMalformed(t *testing.T) {
+	good := sampleRegistry().Snapshot()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Schema = "bogus/v0"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	bad = good
+	bad.Counters = append([]CounterPoint{}, good.Counters...)
+	bad.Counters[0].Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	bad = good
+	bad.Histograms = []HistogramPoint{{Layer: "verbs", Entity: "all", Name: "x",
+		Count: 5, Buckets: []BucketPoint{{Lt: 2, Count: 1}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("inconsistent histogram accepted")
+	}
+	if _, err := ParseSnapshot([]byte("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// Snapshot helpers used by the bench harness.
+func TestSnapshotHelpers(t *testing.T) {
+	snap := sampleRegistry().Snapshot()
+	if !snap.Has("fabric") || !snap.Has("core") || !snap.Has("verbs") {
+		t.Fatal("Has() misses present layers")
+	}
+	if snap.Has("mpi") {
+		t.Fatal("Has() reports absent layer")
+	}
+	if v := snap.CounterValue("fabric", "n0.host", "msgs_tx"); v != 12 {
+		t.Fatalf("CounterValue = %d, want 12", v)
+	}
+	if v := snap.CounterValue("fabric", "nX", "msgs_tx"); v != 0 {
+		t.Fatalf("absent CounterValue = %d, want 0", v)
+	}
+}

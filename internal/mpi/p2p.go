@@ -43,6 +43,7 @@ func (r *Rank) Isend(addr mem.Addr, size, dst, tag int) *Request {
 
 	if dst == r.rank {
 		// Self-send: treat as shm with zero latency.
+		r.w.mShm.Inc()
 		msg.kind = "shm"
 		msg.srcSpace, msg.srcAddr, msg.sendReq = r.site.Space, addr, req
 		r.deliverLocal(dstRank, msg, 0)
@@ -50,6 +51,7 @@ func (r *Rank) Isend(addr mem.Addr, size, dst, tag int) *Request {
 	}
 
 	if cl.SameNode(r.rank, dst) {
+		r.w.mShm.Inc()
 		if size <= r.w.cfg.EagerThreshold {
 			// Copy-in/copy-out through a shared-memory slot; the send
 			// completes once the copy-in is done.
@@ -71,6 +73,7 @@ func (r *Rank) Isend(addr mem.Addr, size, dst, tag int) *Request {
 	if size <= r.w.cfg.EagerThreshold {
 		// Eager: payload is copied into a pre-registered bounce buffer and
 		// shipped with the header; the buffer is immediately reusable.
+		r.w.mEager.Inc()
 		r.proc.AdvanceBusy(cl.CopyCost(size))
 		msg.kind = "eager"
 		msg.data = snapshot(r.site.Space, addr, size)
@@ -85,6 +88,7 @@ func (r *Rank) Isend(addr mem.Addr, size, dst, tag int) *Request {
 	// registration cache) and send an RTS carrying the rkey; the receiver
 	// RDMA-reads the data and FINs back. The send completes when the FIN is
 	// processed — which requires this process to re-enter the library.
+	r.w.mRdv.Inc()
 	mr := r.registerCached(addr, size)
 	msg.kind = "rts"
 	msg.srcAddr, msg.rkey, msg.sendReq = addr, mr.RKey(), req
@@ -152,14 +156,18 @@ func matches(req *Request, m *inMsg) bool {
 }
 
 // handleMatch completes the protocol for a matched (request, message) pair.
-// Runs in the receiver's process context.
+// Runs in the receiver's process context. The matched-receive latency
+// histogram measures match-to-data-landed time: ~the copy for eager/shm,
+// the RDMA read for rendezvous.
 func (r *Rank) handleMatch(req *Request, m *inMsg) {
 	cl := r.w.Cl
+	matchedAt := r.proc.Now()
 	switch m.kind {
 	case "eager":
 		r.proc.AdvanceBusy(cl.CopyCost(m.size))
 		r.site.Space.WriteAt(req.addr, m.data, m.size)
 		req.done = true
+		r.w.mRecvLat.Observe(r.proc.Now() - matchedAt)
 	case "shm":
 		r.proc.AdvanceBusy(cl.CopyCost(m.size))
 		var payload []byte
@@ -168,6 +176,7 @@ func (r *Rank) handleMatch(req *Request, m *inMsg) {
 		}
 		r.site.Space.WriteAt(req.addr, payload, m.size)
 		req.done = true
+		r.w.mRecvLat.Observe(r.proc.Now() - matchedAt)
 		m.sendReq.done = true
 		m.srcCtx.InboxCond.Broadcast() // wake the sender if it is waiting
 	case "rts":
@@ -177,8 +186,9 @@ func (r *Rank) handleMatch(req *Request, m *inMsg) {
 			LocalKey: mr.LKey(), LocalAddr: req.addr,
 			RemoteKey: m.rkey, RemoteAddr: m.srcAddr,
 			Size: m.size,
-			OnComplete: func(sim.Time) {
+			OnComplete: func(at sim.Time) {
 				req.done = true
+				r.w.mRecvLat.Observe(at - matchedAt)
 				// FIN goes out the next time the receiver is inside the
 				// library (the HCA completed; the CPU must post the FIN).
 				r.deferred = append(r.deferred, func() {

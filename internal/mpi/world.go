@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/regcache"
 	"repro/internal/sim"
 	"repro/internal/verbs"
@@ -57,12 +58,24 @@ type World struct {
 	Cl    *cluster.Cluster
 	cfg   Config
 	ranks []*Rank
+
+	// Metric handles; nil (inert) when metrics are off.
+	mEager   *metrics.Counter
+	mRdv     *metrics.Counter
+	mShm     *metrics.Counter
+	mRecvLat *metrics.Histogram
 }
 
 // NewWorld creates the world communicator and its rank state (processes are
 // spawned by Launch).
 func NewWorld(cl *cluster.Cluster, cfg Config) *World {
 	w := &World{Cl: cl, cfg: cfg}
+	if m := cl.Met; m.Enabled() {
+		w.mEager = m.Counter("mpi", "all", "eager_msgs")
+		w.mRdv = m.Counter("mpi", "all", "rendezvous_msgs")
+		w.mShm = m.Counter("mpi", "all", "shm_msgs")
+		w.mRecvLat = m.Histogram("mpi", "all", "recv_match_latency_ns")
+	}
 	np := cl.Cfg.NP()
 	for i := 0; i < np; i++ {
 		site := cl.NewHostSite(cl.NodeOfRank(i), fmt.Sprintf("rank%d", i))
@@ -75,6 +88,7 @@ func NewWorld(cl *cluster.Cluster, cfg Config) *World {
 				mr.Deregister()
 			}),
 		}
+		r.regCache.Instrument(cl.Met, fmt.Sprintf("mpi.rank%d", i))
 		w.ranks = append(w.ranks, r)
 	}
 	return w

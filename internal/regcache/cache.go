@@ -15,7 +15,10 @@
 // eviction with a callback (used to deregister evicted regions).
 package regcache
 
-import "repro/internal/mem"
+import (
+	"repro/internal/mem"
+	"repro/internal/metrics"
+)
 
 // Cache is a rank-indexed array of AVL trees with optional per-rank LRU
 // eviction.
@@ -28,6 +31,21 @@ type Cache[V any] struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+
+	// Metric handles; nil (inert) unless Instrument attached a registry.
+	mHits, mMisses, mEvicts *metrics.Counter
+}
+
+// Instrument binds the cache's hit/miss/evict counters to a metrics
+// registry under (layer "regcache", entity). Nil-safe: a nil registry
+// leaves the cache uninstrumented.
+func (c *Cache[V]) Instrument(m *metrics.Registry, entity string) {
+	if !m.Enabled() {
+		return
+	}
+	c.mHits = m.Counter("regcache", entity, "hits")
+	c.mMisses = m.Counter("regcache", entity, "misses")
+	c.mEvicts = m.Counter("regcache", entity, "evictions")
 }
 
 type shard[V any] struct {
@@ -86,10 +104,12 @@ func (c *Cache[V]) Get(rank int, addr mem.Addr, size int) (V, bool) {
 	n := find(s.root, key{addr, size})
 	if n == nil {
 		c.Misses++
+		c.mMisses.Inc()
 		var zero V
 		return zero, false
 	}
 	c.Hits++
+	c.mHits.Inc()
 	s.unlink(n)
 	s.pushFront(n)
 	return n.v, true
@@ -134,6 +154,7 @@ func (c *Cache[V]) evictLRU(s *shard[V]) {
 	s.root = remove(s.root, t.k)
 	s.n--
 	c.Evictions++
+	c.mEvicts.Inc()
 	if c.onEvict != nil {
 		c.onEvict(t.v)
 	}

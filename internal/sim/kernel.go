@@ -106,41 +106,63 @@ func (k *Kernel) dispatch(p *Proc) {
 	k.running = nil
 }
 
+// pop removes and returns the earliest event, panicking on the corruption
+// that both run loops must catch: an event scheduled in the past.
+func (k *Kernel) pop() *event {
+	ev := heap.Pop(&k.events).(*event)
+	if ev.at < k.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", ev.at, k.now))
+	}
+	return ev
+}
+
+// collectDeadlocked records non-daemon processes that are blocked with no
+// pending event left to wake them.
+func (k *Kernel) collectDeadlocked() {
+	if k.live == 0 {
+		return
+	}
+	for _, p := range k.procs {
+		if p.state == procBlocked && !p.daemon {
+			k.Deadlocked = append(k.Deadlocked, p)
+		}
+	}
+}
+
 // Run executes events until the queue is empty or until all processes have
 // finished. It returns the final virtual time. If processes remain blocked
 // with no pending events, they are reported in k.Deadlocked.
 func (k *Kernel) Run() Time {
+	k.Deadlocked = nil
 	for k.events.Len() > 0 {
-		ev := heap.Pop(&k.events).(*event)
-		if ev.at < k.now {
-			panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", ev.at, k.now))
-		}
+		ev := k.pop()
 		k.now = ev.at
 		ev.fire()
 	}
-	if k.live > 0 {
-		for _, p := range k.procs {
-			if p.state == procBlocked && !p.daemon {
-				k.Deadlocked = append(k.Deadlocked, p)
-			}
-		}
-	}
+	k.collectDeadlocked()
 	return k.now
 }
 
 // RunUntil executes events with timestamps <= deadline, then stops. Pending
 // events beyond the deadline remain queued; the clock is advanced to the
-// deadline. It returns the number of events fired.
+// deadline. It returns the number of events fired. Like Run, it panics on
+// events scheduled in the past, and populates k.Deadlocked when it drains
+// the whole queue (not merely reaches the deadline) with blocked non-daemon
+// processes remaining.
 func (k *Kernel) RunUntil(deadline Time) int {
+	k.Deadlocked = nil
 	fired := 0
 	for k.events.Len() > 0 && k.events[0].at <= deadline {
-		ev := heap.Pop(&k.events).(*event)
+		ev := k.pop()
 		k.now = ev.at
 		ev.fire()
 		fired++
 	}
 	if k.now < deadline {
 		k.now = deadline
+	}
+	if k.events.Len() == 0 {
+		k.collectDeadlocked()
 	}
 	return fired
 }

@@ -245,6 +245,49 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// Regression: RunUntil must apply the same past-event guard as Run (it
+// silently accepted and fired stale events before).
+func TestRunUntilPanicsOnPastEvent(t *testing.T) {
+	k := NewKernel()
+	k.At(100, func() {})
+	k.RunUntil(100)
+	k.schedule(50, func() {}) // corrupt: behind the clock
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil accepted an event scheduled in the past")
+		}
+	}()
+	k.RunUntil(200)
+}
+
+// Regression: RunUntil never populated Deadlocked; when it drains the whole
+// queue with blocked non-daemon processes left, it must report them like Run.
+func TestRunUntilReportsDeadlock(t *testing.T) {
+	k := NewKernel()
+	var c Cond
+	k.Spawn("stuck", func(p *Proc) { c.Wait(p) })
+	if n := k.RunUntil(1000); n == 0 {
+		t.Fatal("spawn event did not fire")
+	}
+	if len(k.Deadlocked) != 1 || k.Deadlocked[0].Name() != "stuck" {
+		t.Fatalf("Deadlocked = %v, want the stuck process", k.Deadlocked)
+	}
+	// A deadline that leaves events queued must NOT report a deadlock: the
+	// queued event may yet wake the process.
+	k2 := NewKernel()
+	var c2 Cond
+	k2.Spawn("waiter", func(p *Proc) { c2.Wait(p) })
+	k2.At(500, func() { c2.Broadcast() })
+	k2.RunUntil(100)
+	if len(k2.Deadlocked) != 0 {
+		t.Fatalf("Deadlocked = %v before the wakeup event ran", k2.Deadlocked)
+	}
+	k2.Run()
+	if len(k2.Deadlocked) != 0 {
+		t.Fatalf("Deadlocked = %v after wakeup", k2.Deadlocked)
+	}
+}
+
 func TestNegativeDelayClampsToNow(t *testing.T) {
 	k := NewKernel()
 	k.At(100, func() {

@@ -38,6 +38,11 @@ type Log struct {
 	limit   int
 	start   int   // ring head: index of the oldest event when full
 	dropped int64 // events evicted by the ring
+
+	// sorted memoizes the unrolled, chronologically sorted view for
+	// Events/Filter/Timeline; Add invalidates it. Callers must not mutate
+	// the returned slice.
+	sorted []Event
 }
 
 // New creates a log that keeps at most the limit most recent events
@@ -53,6 +58,7 @@ func (l *Log) Add(at sim.Time, entity, action, detail string) {
 		return
 	}
 	ev := Event{At: at, Entity: entity, Action: action, Detail: detail}
+	l.sorted = nil
 	if l.limit > 0 && len(l.events) >= l.limit {
 		l.events[l.start] = ev
 		l.start = (l.start + 1) % l.limit
@@ -75,16 +81,22 @@ func (l *Log) Dropped() int64 {
 func (l *Log) Enabled() bool { return l != nil }
 
 // Events returns the recorded events in chronological order (stable for
-// equal timestamps, in insertion order).
+// equal timestamps, in insertion order). The view is memoized until the
+// next Add, so repeated Events/Filter/Timeline calls do not re-sort the
+// ring; the caller must not mutate the returned slice.
 func (l *Log) Events() []Event {
 	if l == nil {
 		return nil
+	}
+	if l.sorted != nil || len(l.events) == 0 {
+		return l.sorted
 	}
 	// Unroll the ring so the stable sort preserves insertion order.
 	out := make([]Event, 0, len(l.events))
 	out = append(out, l.events[l.start:]...)
 	out = append(out, l.events[:l.start]...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	l.sorted = out
 	return out
 }
 

@@ -53,3 +53,50 @@ func TestFilterAndTimeline(t *testing.T) {
 		}
 	}
 }
+
+// Regression: Events memoizes the sorted view until the next Add, so
+// repeated Filter/Timeline calls do not re-unroll and re-sort the ring.
+func TestEventsMemoized(t *testing.T) {
+	l := New(3)
+	for i := 5; i > 0; i-- {
+		l.Add(sim.Time(i), "e", "a", "")
+	}
+	a := l.Events()
+	b := l.Events()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("lens %d/%d, want 3 (ring limit)", len(a), len(b))
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("Events re-built the view without an intervening Add")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatalf("cached view unsorted at %d", i)
+		}
+	}
+	// Add invalidates: the new event must appear, correctly placed.
+	l.Add(0, "e", "new", "")
+	c := l.Events()
+	if len(c) != 3 || c[0].Action != "new" {
+		t.Fatalf("view stale after Add: %+v", c)
+	}
+	if got := l.Filter("e"); len(got) != 3 {
+		t.Fatalf("Filter on cached view = %d events", len(got))
+	}
+}
+
+// The fix: repeated reads of a full ring are O(1) per call instead of
+// O(n log n). Compare BenchmarkEventsRepeated with and without the memo by
+// reverting trace.go's sorted field.
+func BenchmarkEventsRepeated(b *testing.B) {
+	l := New(4096)
+	for i := 0; i < 8192; i++ {
+		l.Add(sim.Time(8192-i), "entity", "action", "detail")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(l.Events()) != 4096 {
+			b.Fatal("bad length")
+		}
+	}
+}

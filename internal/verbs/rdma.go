@@ -85,13 +85,14 @@ func (c *Ctx) writeAttempt(op WriteOp, dst *MR, dstCtx *Ctx, payload []byte, att
 	inj := c.reg.inj
 	if inj.CQError() {
 		// The WQE completed with an error status before reaching the wire.
+		c.reg.mErrorCQEs.Inc()
 		inj.Note(k.Now(), c.name, "cq-error", fmt.Sprintf("write size=%d attempt=%d", op.Size, attempt))
 		c.retryOrFail("write", op.Size, attempt, k.Now(),
 			func() { c.writeAttempt(op, dst, dstCtx, payload, attempt+1) },
 			op.OnError)
 		return
 	}
-	txDone, _, fate := c.reg.f.TransferFated(c.ep, dstCtx.ep, op.Size+c.reg.costs.RDMAHdr, func() {
+	txDone, _, _, fate := c.reg.f.TransferFated(c.ep, dstCtx.ep, op.Size+c.reg.costs.RDMAHdr, func() {
 		dst.space.WriteAt(op.RemoteAddr, payload, op.Size)
 		if op.Notify != nil {
 			dstCtx.deliver(op.Notify)
@@ -128,6 +129,8 @@ func (c *Ctx) retryOrFail(kind string, size, attempt int, from sim.Time, again f
 		return
 	}
 	inj.Stats.Retries++
+	c.reg.mRetries.Inc()
+	c.reg.mBackoffNS.Add(int64(rc.Delay(attempt)))
 	inj.Note(k.Now(), c.name, "retry",
 		fmt.Sprintf("%s size=%d attempt=%d backoff=%s", kind, size, attempt, rc.Delay(attempt)))
 	k.At(from-k.Now()+rc.Delay(attempt), again)
@@ -190,19 +193,20 @@ func (c *Ctx) readAttempt(op ReadOp, dst, src *MR, srcCtx *Ctx, attempt int) {
 	k := c.reg.f.Kernel()
 	inj := c.reg.inj
 	if inj.CQError() {
+		c.reg.mErrorCQEs.Inc()
 		inj.Note(k.Now(), c.name, "cq-error", fmt.Sprintf("read size=%d attempt=%d", op.Size, attempt))
 		c.retryOrFail("read", op.Size, attempt, k.Now(),
 			func() { c.readAttempt(op, dst, src, srcCtx, attempt+1) },
 			op.OnError)
 		return
 	}
-	reqTx, _, reqFate := c.reg.f.TransferFated(c.ep, srcCtx.ep, c.reg.costs.ReadReqLen, func() {
+	reqTx, _, _, reqFate := c.reg.f.TransferFated(c.ep, srcCtx.ep, c.reg.costs.ReadReqLen, func() {
 		var payload []byte
 		if d := src.space.ReadAt(op.RemoteAddr, op.Size); d != nil {
 			payload = make([]byte, op.Size)
 			copy(payload, d)
 		}
-		respTx, _, respFate := c.reg.f.TransferFated(srcCtx.ep, c.ep, op.Size+c.reg.costs.RDMAHdr, func() {
+		respTx, _, _, respFate := c.reg.f.TransferFated(srcCtx.ep, c.ep, op.Size+c.reg.costs.RDMAHdr, func() {
 			dst.space.WriteAt(op.LocalAddr, payload, op.Size)
 			if op.OnComplete != nil {
 				op.OnComplete(k.Now())
@@ -252,12 +256,13 @@ func (c *Ctx) sendAttempt(dst *Ctx, pkt *Packet, attempt int) {
 	k := c.reg.f.Kernel()
 	inj := c.reg.inj
 	if inj.CQError() {
+		c.reg.mErrorCQEs.Inc()
 		inj.Note(k.Now(), c.name, "cq-error", fmt.Sprintf("send %s attempt=%d", pkt.Kind, attempt))
 		c.retryOrFail("send", pkt.Size, attempt, k.Now(),
 			func() { c.sendAttempt(dst, pkt, attempt+1) }, nil)
 		return
 	}
-	txDone, _, fate := c.reg.f.TransferFated(c.ep, dst.ep, pkt.Size, func() { dst.deliver(pkt) })
+	txDone, _, _, fate := c.reg.f.TransferFated(c.ep, dst.ep, pkt.Size, func() { dst.deliver(pkt) })
 	if fate == fault.FateDrop || fate == fault.FateCorrupt {
 		c.retryOrFail("send", pkt.Size, attempt, txDone,
 			func() { c.sendAttempt(dst, pkt, attempt+1) }, nil)

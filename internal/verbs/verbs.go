@@ -17,6 +17,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -66,6 +67,12 @@ type Registry struct {
 	// Stats
 	Registrations int64
 	RegTime       sim.Time
+
+	// Metric handles; nil (inert) when no metrics registry is attached.
+	mRetries    *metrics.Counter
+	mBackoffNS  *metrics.Counter
+	mErrorCQEs  *metrics.Counter
+	mRegLatency *metrics.Histogram
 }
 
 // NewRegistry creates the key table for one simulation.
@@ -88,6 +95,19 @@ func (r *Registry) SetInjector(inj *fault.Injector) { r.inj = inj }
 
 // Injector returns the attached fault injector (nil when faults are off).
 func (r *Registry) Injector() *fault.Injector { return r.inj }
+
+// SetMetrics attaches a metrics registry; nil disables metrics. Like the
+// fault injector, metrics never consume virtual time.
+func (r *Registry) SetMetrics(m *metrics.Registry) {
+	if !m.Enabled() {
+		r.mRetries, r.mBackoffNS, r.mErrorCQEs, r.mRegLatency = nil, nil, nil, nil
+		return
+	}
+	r.mRetries = m.Counter("verbs", "all", "retries")
+	r.mBackoffNS = m.Counter("verbs", "all", "backoff_ns")
+	r.mErrorCQEs = m.Counter("verbs", "all", "error_cqes")
+	r.mRegLatency = m.Histogram("verbs", "all", "reg_latency_ns")
+}
 
 // Ctx is a per-process verbs context: the process's protection domain,
 // address space, and the endpoint its work requests are injected through.
@@ -157,6 +177,7 @@ var (
 // pays the full cost and is retried until it succeeds.
 func (c *Ctx) RegisterMR(p *sim.Proc, addr mem.Addr, size int) *MR {
 	cost := c.reg.costs.RegCost(size)
+	start := p.Now()
 	for c.reg.inj.RegFail() {
 		c.reg.Registrations++
 		c.reg.RegTime += cost
@@ -167,6 +188,7 @@ func (c *Ctx) RegisterMR(p *sim.Proc, addr mem.Addr, size int) *MR {
 	c.reg.Registrations++
 	c.reg.RegTime += cost
 	p.AdvanceBusy(cost)
+	c.reg.mRegLatency.Observe(p.Now() - start)
 	return c.reg.insertMR(c, c.space, addr, size)
 }
 
