@@ -20,9 +20,13 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/baseline"
 	"repro/internal/bench"
+	"repro/internal/fault"
 	"repro/internal/figures"
 	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/span"
 )
 
 func main() {
@@ -42,6 +46,7 @@ func main() {
 		seed   = fs.Int64("seed", 42, "chaos fault-injection seed")
 		size   = fs.Int("size", 32<<10, "chaos message size in bytes")
 		mout   = fs.String("metrics", "", "write a metrics snapshot after the run: JSON to <path>, Prometheus text to <path>.prom")
+		sout   = fs.String("spans", "", "write the run's span trace: Chrome trace JSON to <path>, folded stacks to <path>.folded, JSONL to <path>.jsonl")
 		outp   = fs.String("o", "BENCH_fig13.json", "output path for bench-snapshot")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -72,6 +77,11 @@ func main() {
 		return
 	}
 
+	if fig == "critical-path" {
+		criticalPath(out, p)
+		return
+	}
+
 	// -metrics attaches one registry to every environment the run builds.
 	// Metric updates never consume virtual time, so figure outputs are
 	// unchanged (bit-exactness is guarded by the bench tests).
@@ -79,6 +89,15 @@ func main() {
 	if *mout != "" {
 		reg = metrics.NewRegistry()
 		bench.DefaultMetrics = reg
+	}
+
+	// -spans attaches one span collector to every environment the run
+	// builds. Like metrics, span recording never consumes virtual time, so
+	// figure outputs are unchanged (guarded bit-exactly by the bench tests).
+	var sc *span.Collector
+	if *sout != "" {
+		sc = span.New(0)
+		bench.DefaultSpans = sc
 	}
 
 	run := func(name string) {
@@ -148,6 +167,89 @@ func main() {
 		}
 		fmt.Fprintf(out, "metrics: %s, %s.prom\n", *mout, *mout)
 	}
+	if sc != nil {
+		if err := writeSpans(*sout, sc); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "spans: %s, %s.folded, %s.jsonl (%d spans, %d dropped)\n",
+			*sout, *sout, *sout, sc.Len(), sc.Dropped())
+	}
+}
+
+// criticalPath runs the fig13 Ialltoall loop plus a chaos run with span
+// collection on, and prints a representative critical path and the
+// per-layer latency-attribution table for each.
+func criticalPath(out *os.File, p params) {
+	opt := bench.Options{Nodes: 2, PPN: p.a2aPPN(), Scheme: baseline.NameProposed}
+	size := p.size
+
+	fmt.Fprintf(out, "=== critical path: ialltoall np=%d size=%d (proposed) ===\n",
+		opt.Nodes*opt.PPN, size)
+	sc, r := bench.CollectSpans(opt, size, p.warmup, p.it(2))
+	printAttribution(out, sc)
+	fmt.Fprintf(out, "pure_comm=%s overall=%s\n\n", r.PureComm, r.Overall)
+
+	fmt.Fprintf(out, "=== critical path: ialltoall under chaos (rate 1e-3, seed %d) ===\n", p.seed)
+	csc, cr := bench.CollectChaosSpans(opt, fault.Scaled(p.seed, 1e-3), 1e-3, size, p.warmup, p.it(2))
+	printAttribution(out, csc)
+	fmt.Fprintf(out, "overall=%s verified=%v retries=%d\n", cr.Overall, cr.Verified, cr.Fault.Retries)
+}
+
+// printAttribution prints the critical path of the last completed
+// collective root (the steady-state iteration) and the attribution table
+// aggregated over every collective root.
+func printAttribution(out *os.File, sc *span.Collector) {
+	roots := sc.RootsNamed("coll", "ialltoall")
+	if len(roots) == 0 {
+		fmt.Fprintln(out, "no collective roots recorded")
+		return
+	}
+	last := roots[len(roots)-1]
+	fmt.Fprint(out, sc.FormatPath(last))
+	var total sim.Time
+	for _, id := range roots {
+		if s, ok := sc.Get(id); ok && s.Ended {
+			total += s.Dur()
+		}
+	}
+	fmt.Fprintf(out, "\nattribution over %d roots:\n%s", len(roots),
+		span.FormatAttribution(sc.Attribution(roots), total))
+}
+
+// writeSpans exports the collector as Chrome trace JSON to path, folded
+// stacks to path.folded, and JSONL to path.jsonl.
+func writeSpans(path string, sc *span.Collector) error {
+	cf, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sc.WriteChromeTrace(cf); err != nil {
+		cf.Close()
+		return err
+	}
+	if err := cf.Close(); err != nil {
+		return err
+	}
+	ff, err := os.Create(path + ".folded")
+	if err != nil {
+		return err
+	}
+	if err := sc.WriteFolded(ff); err != nil {
+		ff.Close()
+		return err
+	}
+	if err := ff.Close(); err != nil {
+		return err
+	}
+	jf, err := os.Create(path + ".jsonl")
+	if err != nil {
+		return err
+	}
+	if err := sc.WriteJSONL(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	return jf.Close()
 }
 
 // writeMetrics exports the registry as JSON to path and as Prometheus text
@@ -291,8 +393,11 @@ figures:
   chaos    Ialltoall under fault injection (rates 0, 1e-4, 1e-3, 1e-2)
   all      everything above
   bench-snapshot  regenerate the BENCH_fig13.json perf baseline (-o path)
+  critical-path   span-based critical path + latency attribution for the
+                  fig13 Ialltoall loop and a chaos run (-ppn, -size, -seed)
 
 flags: -ppn N -iters N -warmup N -full -memgb N -nb N -seed N -size N
        -metrics PATH (export run metrics: JSON to PATH, Prometheus to PATH.prom)
+       -spans PATH (export span trace: Chrome JSON to PATH, plus PATH.folded, PATH.jsonl)
        -o PATH (bench-snapshot output, default BENCH_fig13.json)`)
 }

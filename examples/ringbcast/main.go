@@ -119,7 +119,10 @@ func offload(label string, cfg core.Config) {
 	report(label, done)
 	if e.Cl.Trace.Enabled() {
 		fmt.Println("\nprotocol timeline (first events):")
-		e.Cl.Trace.Timeline(os.Stdout)
+		if err := e.Cl.Trace.Timeline(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ringbcast: timeline:", err)
+			os.Exit(1)
+		}
 	}
 }
 

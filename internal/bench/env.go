@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/span"
 )
 
 // DefaultMetrics, when set, is attached to every environment Build creates
@@ -20,6 +21,11 @@ import (
 // override). offloadbench sets it from the -metrics flag so all figure
 // paths record without threading a registry through every signature.
 var DefaultMetrics *metrics.Registry
+
+// DefaultSpans is the span-collector analogue of DefaultMetrics: when set,
+// Build attaches it to every environment that does not carry its own
+// collector. offloadbench sets it from the -spans flag.
+var DefaultSpans *span.Collector
 
 // Options describe one benchmark environment.
 type Options struct {
@@ -35,6 +41,11 @@ type Options struct {
 	// never consume virtual time, so results are unchanged (guarded
 	// bit-exactly by TestMetricsLiveRegistryMatchesFig13Exactly).
 	Metrics *metrics.Registry
+
+	// Spans attaches a span collector to the environment's cluster. Like
+	// metrics, span collection never consumes virtual time (guarded
+	// bit-exactly by TestSpansLiveCollectorMatchesFig13Exactly).
+	Spans *span.Collector
 }
 
 // Env is a ready-to-launch benchmark environment.
@@ -67,6 +78,13 @@ func Build(opt Options) *Env {
 			ccfg.Metrics = opt.Metrics
 		} else {
 			ccfg.Metrics = DefaultMetrics
+		}
+	}
+	if ccfg.Spans == nil {
+		if opt.Spans != nil {
+			ccfg.Spans = opt.Spans
+		} else {
+			ccfg.Spans = DefaultSpans
 		}
 	}
 	cl := cluster.New(ccfg)

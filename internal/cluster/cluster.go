@@ -15,6 +15,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/trace"
 	"repro/internal/verbs"
 )
@@ -54,6 +55,12 @@ type Config struct {
 	// consume virtual time; nil keeps every fast path untouched (the fig13
 	// guards enforce both properties bit-exactly).
 	Metrics *metrics.Registry
+
+	// Spans, when non-nil, records the causal span tree (operation ->
+	// proxy/group work -> verbs ops -> fabric flights) for critical-path
+	// analysis. Like Metrics, span collection never consumes virtual time;
+	// nil keeps every fast path untouched.
+	Spans *span.Collector
 }
 
 // DefaultConfig returns the standard testbed with the given shape.
@@ -135,6 +142,11 @@ type Cluster struct {
 	// off); downstream layers (core, mpi) instrument themselves through it.
 	Met *metrics.Registry
 
+	// Spans is the span collector from Cfg.Spans (nil when span tracing is
+	// off); downstream layers create spans through it and propagate parent
+	// IDs through their message/descriptor structs.
+	Spans *span.Collector
+
 	Nodes []*Node
 }
 
@@ -163,6 +175,12 @@ func New(cfg Config) *Cluster {
 		f.SetMetrics(cfg.Metrics)
 		reg.SetMetrics(cfg.Metrics)
 		c.Met = cfg.Metrics
+	}
+	if cfg.Spans.Enabled() {
+		cfg.Spans.AttachClock(k)
+		f.SetSpans(cfg.Spans)
+		reg.SetSpans(cfg.Spans)
+		c.Spans = cfg.Spans
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.Nodes = append(c.Nodes, &Node{

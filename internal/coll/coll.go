@@ -22,6 +22,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/span"
 )
 
 // Request is a pending nonblocking collective.
@@ -131,18 +132,33 @@ func (o *OffloadOps) Name() string { return o.name }
 
 // offloadReq adapts a GroupRequest to Request.
 type offloadReq struct {
-	h *core.Host
-	g *core.GroupRequest
+	h    *core.Host
+	g    *core.GroupRequest
+	span span.ID // collective root span (0 = untraced)
 }
 
 // Done implements Request.
 func (q *offloadReq) Done() bool { return q.g.Done() }
+
+// rootSpan opens a collective root span covering the local prologue, the
+// group call, and — through the proxy's execution span — everything the DPU
+// does on the collective's behalf (0 when tracing is off).
+func (o *OffloadOps) rootSpan(name string, size int) span.ID {
+	sp := o.r.World().Cl.Spans
+	if !sp.Enabled() {
+		return 0
+	}
+	s := sp.Start(0, span.ClassRank, fmt.Sprintf("rank%d", o.r.RankID()), "coll", name)
+	sp.AttrInt(s, "size", int64(size))
+	return s
+}
 
 // Ialltoall implements Ops: the scatter-destination algorithm of Section
 // VIII-B recorded as one group request per rank (receives from rank-i,
 // sends to rank+i), replayed through the group cache on repeat calls.
 func (o *OffloadOps) Ialltoall(slot int, sendAddr, recvAddr mem.Addr, per int) Request {
 	np, me := o.r.Size(), o.r.RankID()
+	root := o.rootSpan("ialltoall", per)
 	key := collKey{kind: "a2a", slot: slot, a: sendAddr, b: recvAddr, size: per}
 	g, ok := o.cache[key]
 	if !ok {
@@ -165,8 +181,8 @@ func (o *OffloadOps) Ialltoall(slot int, sendAddr, recvAddr mem.Addr, per int) R
 		sp.WriteAt(recvAddr+mem.Addr(me*per), d, per)
 	}
 	o.h.Proc().AdvanceBusy(o.r.World().Cl.CopyCost(per))
-	o.h.GroupCall(g)
-	return &offloadReq{h: o.h, g: g}
+	o.h.GroupCallCtx(g, root)
+	return &offloadReq{h: o.h, g: g, span: root}
 }
 
 // IalltoallOn is Ialltoall scoped to a sub-communicator: block i of the
@@ -176,6 +192,7 @@ func (o *OffloadOps) Ialltoall(slot int, sendAddr, recvAddr mem.Addr, per int) R
 // communicators of a process grid).
 func (o *OffloadOps) IalltoallOn(c *mpi.Comm, slot int, sendAddr, recvAddr mem.Addr, per int) Request {
 	np, me := c.Size(), c.RankID()
+	root := o.rootSpan("ialltoall", per)
 	key := collKey{kind: "a2ac", slot: slot, a: sendAddr, b: recvAddr, size: per}
 	g, ok := o.cache[key]
 	if !ok {
@@ -197,8 +214,8 @@ func (o *OffloadOps) IalltoallOn(c *mpi.Comm, slot int, sendAddr, recvAddr mem.A
 		sp.WriteAt(recvAddr+mem.Addr(me*per), d, per)
 	}
 	o.h.Proc().AdvanceBusy(o.r.World().Cl.CopyCost(per))
-	o.h.GroupCall(g)
-	return &offloadReq{h: o.h, g: g}
+	o.h.GroupCallCtx(g, root)
+	return &offloadReq{h: o.h, g: g, span: root}
 }
 
 // Ibcast implements Ops: the ring broadcast of Listing 5 — receive from the
@@ -206,6 +223,7 @@ func (o *OffloadOps) IalltoallOn(c *mpi.Comm, slot int, sendAddr, recvAddr mem.A
 // panels pipeline around the ring, all progressed by the proxies.
 func (o *OffloadOps) Ibcast(slot int, addr mem.Addr, size, root int) Request {
 	np, me := o.r.Size(), o.r.RankID()
+	rs := o.rootSpan("ibcast", size)
 	key := collKey{kind: "bcast", slot: slot, a: addr, size: size, root: root}
 	g, ok := o.cache[key]
 	if !ok {
@@ -240,8 +258,8 @@ func (o *OffloadOps) Ibcast(slot int, addr mem.Addr, size, root int) Request {
 		g.End()
 		o.cache[key] = g
 	}
-	o.h.GroupCall(g)
-	return &offloadReq{h: o.h, g: g}
+	o.h.GroupCallCtx(g, rs)
+	return &offloadReq{h: o.h, g: g, span: rs}
 }
 
 // Iallgather implements Ops: the ring allgather recorded as one group —
@@ -250,6 +268,7 @@ func (o *OffloadOps) Ibcast(slot int, addr mem.Addr, size, root int) Request {
 // reference [9] that BluesMPI offloads by staging; here it is direct).
 func (o *OffloadOps) Iallgather(slot int, sendAddr, recvAddr mem.Addr, per int) Request {
 	np, me := o.r.Size(), o.r.RankID()
+	root := o.rootSpan("iallgather", per)
 	key := collKey{kind: "ag", slot: slot, a: sendAddr, b: recvAddr, size: per}
 	g, ok := o.cache[key]
 	if !ok {
@@ -273,15 +292,26 @@ func (o *OffloadOps) Iallgather(slot int, sendAddr, recvAddr mem.Addr, per int) 
 		sp.WriteAt(recvAddr+mem.Addr(me*per), d, per)
 	}
 	o.h.Proc().AdvanceBusy(o.r.World().Cl.CopyCost(per))
-	o.h.GroupCall(g)
-	return &offloadReq{h: o.h, g: g}
+	o.h.GroupCallCtx(g, root)
+	return &offloadReq{h: o.h, g: g, span: root}
 }
 
 // Wait implements Ops.
-func (o *OffloadOps) Wait(q Request) { o.h.GroupWait(q.(*offloadReq).g) }
+func (o *OffloadOps) Wait(q Request) {
+	r := q.(*offloadReq)
+	o.h.GroupWait(r.g)
+	o.r.World().Cl.Spans.End(r.span)
+}
 
 // Test implements Ops.
-func (o *OffloadOps) Test(q Request) bool { return o.h.GroupTest(q.(*offloadReq).g) }
+func (o *OffloadOps) Test(q Request) bool {
+	r := q.(*offloadReq)
+	done := o.h.GroupTest(r.g)
+	if done {
+		o.r.World().Cl.Spans.End(r.span)
+	}
+	return done
+}
 
 // tagFor separates call-site slots in the offload library's tag space.
 func tagFor(slot int) int { return 1 << 16 << slot }

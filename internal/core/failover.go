@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/verbs"
 )
 
@@ -90,6 +91,7 @@ type fbCall struct {
 	idx     int
 	pending int         // host-posted RDMA writes not yet completed
 	need    map[int]int // recv entries accounted so far this call, per src
+	span    span.ID     // fallback-execution span, under the call's root
 }
 
 // noteDelivery is the counter daemon's accounting step (the destination
@@ -261,11 +263,17 @@ func (h *Host) handleGroupFail(m *gfailMsg) {
 }
 
 // startFallbackCall queues one group call for host-progressed execution.
+// The re-execution stays attributed to the call's original root span.
 func (h *Host) startFallbackCall(g *GroupRequest, call int) {
 	if g.wire == nil {
 		panic(fmt.Sprintf("core: rank %d fallback for group %d with no wire entries", h.rank, g.id))
 	}
-	h.fbRun = append(h.fbRun, &fbCall{g: g, call: call, need: make(map[int]int)})
+	fb := &fbCall{g: g, call: call, need: make(map[int]int)}
+	if sp := h.spans(); sp.Enabled() {
+		fb.span = sp.Start(g.rootByCall[call], span.ClassRank, h.entity(), "core", "fallback_exec")
+		sp.AttrInt(fb.span, "call", int64(call))
+	}
+	h.fbRun = append(h.fbRun, fb)
 	h.FallbackCalls++
 	if tr := h.fw.cl.Trace; tr.Enabled() {
 		tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "fallback-call",
@@ -312,6 +320,8 @@ func (h *Host) advanceFallback(fb *fbCall) bool {
 	if fb.call > g.doneSeq {
 		g.doneSeq = fb.call
 	}
+	h.spans().End(fb.span)
+	delete(g.rootByCall, fb.call)
 	if tr := h.fw.cl.Trace; tr.Enabled() {
 		tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "fallback-complete",
 			fmt.Sprintf("id=%d call=%d", g.id, fb.call))
@@ -338,7 +348,9 @@ func (h *Host) fbRecvsOK(fb *fbCall) bool {
 func (h *Host) fbPostSend(fb *fbCall, idx int) {
 	g := fb.g
 	e := &g.wire[idx]
+	h.curSpan = fb.span
 	mr := h.ibRegister(e.SrcAddr, e.Size)
+	h.curSpan = 0
 	fb.pending++
 	h.FallbackWrites++
 	if tr := h.fw.cl.Trace; tr.Enabled() {
@@ -350,10 +362,11 @@ func (h *Host) fbPostSend(fb *fbCall, idx int) {
 		LocalKey: mr.LKey(), LocalAddr: e.SrcAddr,
 		RemoteKey: e.DstRKey, RemoteAddr: e.DstAddr,
 		Size: e.Size,
+		Span: fb.span,
 		OnRemoteComplete: func(sim.Time) {
 			h.later(func() {
 				fb.pending--
-				h.sendDlv(dst, dstGroup, callNum, entry)
+				h.sendDlv(dst, dstGroup, callNum, entry, fb.span)
 			})
 		},
 	})
@@ -364,7 +377,7 @@ func (h *Host) fbPostSend(fb *fbCall, idx int) {
 
 // sendDlv posts a delivery-counter write to the destination host's memory
 // (process context).
-func (h *Host) sendDlv(dst, dstGroup, call, entry int) {
+func (h *Host) sendDlv(dst, dstGroup, call, entry int, parent span.ID) {
 	peer := h.fw.hosts[dst]
 	h.ctx.PostSend(h.proc, peer.dlvCtx, &verbs.Packet{
 		Kind: "dlv", Size: h.fw.cfg.CtrlSize,
@@ -372,6 +385,7 @@ func (h *Host) sendDlv(dst, dstGroup, call, entry int) {
 			SrcHost: h.rank, DstHost: dst, DstGroup: dstGroup,
 			Call: call, Entry: entry,
 		},
+		Span: parent,
 	})
 }
 
@@ -389,8 +403,9 @@ func (h *Host) foSendNow(rec *sendRec) {
 		Kind: "fosend", Size: h.fw.cfg.CtrlSize + rec.size,
 		Payload: &foSendMsg{
 			Src: h.rank, Dst: rec.dst, Tag: rec.tag, Size: rec.size,
-			ReqID: rec.req.id, Data: data,
+			ReqID: rec.req.id, Data: data, Span: rec.req.span,
 		},
+		Span: rec.req.span,
 	})
 	if tr := h.fw.cl.Trace; tr.Enabled() {
 		tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "fosend",
@@ -421,6 +436,7 @@ func (h *Host) handleFoSend(m *foSendMsg) {
 			}
 			rec.req.done = true
 			delete(h.reqs, rec.req.id)
+			h.spans().End(rec.req.span)
 			h.foAck(m)
 			return
 		}
@@ -428,11 +444,13 @@ func (h *Host) handleFoSend(m *foSendMsg) {
 	h.foQ = append(h.foQ, m)
 }
 
-// foAck acknowledges an eager push so the sender's request completes.
+// foAck acknowledges an eager push so the sender's request completes. The
+// ack flight parents to the sender's root span (carried in the push).
 func (h *Host) foAck(m *foSendMsg) {
 	peer := h.fw.hosts[m.Src]
 	h.ctx.PostSend(h.proc, peer.ctx, &verbs.Packet{
 		Kind: "foack", Size: h.fw.cfg.CtrlSize, Payload: &foAckMsg{ReqID: m.ReqID},
+		Span: m.Span,
 	})
 }
 
@@ -454,6 +472,7 @@ func (h *Host) reissueOneSided(rec *osRec, now sim.Time) {
 				q.done = true
 				delete(h.reqs, rec.req.id)
 				h.dropRecords(rec.req.id)
+				h.spans().End(q.span)
 			}
 		})
 	}
@@ -461,7 +480,7 @@ func (h *Host) reissueOneSided(rec *osRec, now sim.Time) {
 		err := h.ctx.PostWrite(h.proc, verbs.WriteOp{
 			LocalKey: rec.lKey, LocalAddr: rec.lAddr,
 			RemoteKey: rec.rKey, RemoteAddr: rec.rAddr,
-			Size: rec.size, OnRemoteComplete: complete,
+			Size: rec.size, Span: rec.req.span, OnRemoteComplete: complete,
 		})
 		if err != nil {
 			panic(fmt.Sprintf("core: rank %d one-sided reissue: %v", h.rank, err))
@@ -471,7 +490,7 @@ func (h *Host) reissueOneSided(rec *osRec, now sim.Time) {
 	err := h.ctx.PostRead(h.proc, verbs.ReadOp{
 		LocalKey: rec.lKey, LocalAddr: rec.lAddr,
 		RemoteKey: rec.rKey, RemoteAddr: rec.rAddr,
-		Size: rec.size, OnComplete: complete,
+		Size: rec.size, Span: rec.req.span, OnComplete: complete,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("core: rank %d one-sided reissue: %v", h.rank, err))

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gvmi"
 	"repro/internal/mem"
+	"repro/internal/span"
 	"repro/internal/verbs"
 )
 
@@ -46,6 +47,11 @@ type GroupRequest struct {
 	wire    []wireOp
 	sentGen int
 	perCall map[int]int // recv entries per source host in one call
+
+	// rootByCall remembers each outstanding call's root span so fallback
+	// re-execution after a proxy failure stays attributed to the original
+	// operation (entries are dropped as calls complete).
+	rootByCall map[int]span.ID
 }
 
 // recvsPerCall returns how many receive entries one call expects from src.
@@ -119,7 +125,13 @@ func (g *GroupRequest) Ops() []GroupOp { return g.ops }
 // cache disabled) it registers all buffers, gathers matching receive-entry
 // metadata from the destination hosts, and ships the entire Group_op queue
 // as one contiguous packet; replays send only the request ID.
-func (h *Host) GroupCall(g *GroupRequest) {
+func (h *Host) GroupCall(g *GroupRequest) { h.GroupCallCtx(g, 0) }
+
+// GroupCallCtx is GroupCall carrying span context: parent (usually a
+// collective's root span) becomes the causal parent of the host-side call
+// work and of the proxy's execution of this call. Timing is identical to
+// GroupCall.
+func (h *Host) GroupCallCtx(g *GroupRequest, parent span.ID) {
 	if !g.ended {
 		panic("core: GroupCall before Group_Offload_end")
 	}
@@ -127,6 +139,22 @@ func (h *Host) GroupCall(g *GroupRequest) {
 	defer func() { h.OffloadTime += h.proc.Now() - t0 }()
 	g.callSeq++
 	px := h.fw.proxyFor(h.rank)
+	if sp := h.spans(); sp.Enabled() {
+		// Host-side call span (registration + gather + packet build) under
+		// the root; the proxy's execution span parents to the root directly
+		// so the critical path descends into DPU/HCA/wire work.
+		gc := sp.Start(parent, span.ClassRank, h.entity(), "core", "group_call")
+		sp.AttrInt(gc, "call", int64(g.callSeq))
+		if g.rootByCall == nil {
+			g.rootByCall = make(map[int]span.ID)
+		}
+		g.rootByCall[g.callSeq] = parent
+		h.curSpan = gc
+		defer func() {
+			h.curSpan = 0
+			sp.End(gc)
+		}()
+	}
 
 	if h.failedOver {
 		// The proxy is dead: the host executes the pattern itself.
@@ -141,7 +169,8 @@ func (h *Host) GroupCall(g *GroupRequest) {
 		// Host-side cache hit: "the host sends the request ID to the DPU".
 		h.ctx.PostSend(h.proc, px.ctx, &verbs.Packet{
 			Kind: "greplay", Size: h.fw.cfg.CtrlSize,
-			Payload: &greplayMsg{HostRank: h.rank, GroupID: g.id, CallSeq: g.callSeq},
+			Payload: &greplayMsg{HostRank: h.rank, GroupID: g.id, CallSeq: g.callSeq, Span: parent},
+			Span:    parent,
 		})
 		if tr := h.fw.cl.Trace; tr.Enabled() {
 			tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "Group_Offload_call",
@@ -157,8 +186,9 @@ func (h *Host) GroupCall(g *GroupRequest) {
 		Kind: "group",
 		Size: h.fw.cfg.CtrlSize + len(entries)*h.fw.cfg.GroupOpWireSize,
 		Payload: &groupPacket{
-			HostRank: h.rank, GroupID: g.id, CallSeq: g.callSeq, Entries: entries,
+			HostRank: h.rank, GroupID: g.id, CallSeq: g.callSeq, Entries: entries, Span: parent,
 		},
+		Span: parent,
 	})
 	g.sentToProxy = true
 	if h.fw.crashesConfigured() {

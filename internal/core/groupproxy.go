@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/verbs"
 )
 
@@ -31,6 +32,12 @@ type proxyGroup struct {
 	// the cache lookup ("the group entry queue also contains the GVMI
 	// registration cache entry").
 	cachedMRs []*verbs.MR
+
+	// roots maps each pending call number to the host-side root span it
+	// arrived under (dropped as calls complete); execSpan is the proxy's
+	// execution span for the currently running call.
+	roots    map[int]span.ID
+	execSpan span.ID
 }
 
 // installGroup handles a full Group_Offload_packet.
@@ -50,6 +57,18 @@ func (px *Proxy) installGroup(m *groupPacket) {
 	if m.CallSeq > g.callSeq {
 		g.callSeq = m.CallSeq
 	}
+	g.noteRoot(m.CallSeq, m.Span)
+}
+
+// noteRoot records the host-side root span a call arrived under.
+func (g *proxyGroup) noteRoot(call int, root span.ID) {
+	if root == 0 {
+		return
+	}
+	if g.roots == nil {
+		g.roots = make(map[int]span.ID)
+	}
+	g.roots[call] = root
 }
 
 // replayGroup handles a cache-hit replay: only the request ID travelled.
@@ -74,6 +93,7 @@ func (px *Proxy) replayGroup(m *greplayMsg) {
 	if m.CallSeq > g.callSeq {
 		g.callSeq = m.CallSeq
 	}
+	g.noteRoot(m.CallSeq, m.Span)
 }
 
 // activeGroups returns groups that can make progress, in install order
@@ -125,6 +145,14 @@ func (px *Proxy) advanceGroup(g *proxyGroup) bool {
 		}
 		g.running = true
 		g.idx = 0
+		if sp := px.spans(); sp.Enabled() {
+			// The execution span parents directly to the host-side root so
+			// the critical path descends from the collective into DPU work.
+			g.execSpan = sp.Start(g.roots[g.finishedSeq+1], span.ClassProxy,
+				px.entity(), "core", "group_exec")
+			sp.AttrInt(g.execSpan, "call", int64(g.finishedSeq+1))
+			sp.AttrInt(g.execSpan, "entries", int64(len(g.entries)))
+		}
 		if px.fw.cfg.WarmupPerOp > 0 && g.finishedSeq < px.fw.cfg.WarmupCalls {
 			// First-iterations setup penalty (staging-buffer and queue
 			// setup per peer in the modelled baseline).
@@ -165,12 +193,19 @@ func (px *Proxy) advanceGroup(g *proxyGroup) bool {
 	g.running = false
 	g.finishedSeq++
 	px.sampleQueueDepth()
+	root := g.roots[g.finishedSeq]
+	px.spans().End(g.execSpan)
+	g.execSpan = 0
+	delete(g.roots, g.finishedSeq)
 	// Completion-counter update to the host (the paper RDMA-writes a
 	// pre-registered counter; a minimal control packet has the same cost).
+	// The flight parents to the root span: the completion notification is
+	// the tail of the collective's critical path.
 	h := px.fw.hosts[g.host]
 	px.ctx.PostSend(px.proc, h.ctx, &verbs.Packet{
 		Kind: "gdone", Size: px.fw.cfg.CtrlSize,
 		Payload: &gdoneMsg{GroupID: g.id, CallSeq: g.finishedSeq},
+		Span:    root,
 	})
 	return true
 }
@@ -180,6 +215,7 @@ func (px *Proxy) advanceGroup(g *proxyGroup) bool {
 func (px *Proxy) postGroupSend(g *proxyGroup, idx int) {
 	e := &g.entries[idx]
 	callNum := g.finishedSeq + 1 // the call currently executing
+	exec := g.execSpan           // captured: the field clears when the call ends
 	notify := func() {
 		g.pending--
 		pay := &dlvMsg{
@@ -190,13 +226,13 @@ func (px *Proxy) postGroupSend(g *proxyGroup, idx int) {
 			// Counter write into destination host memory (crash-safe).
 			h := px.fw.hosts[e.Dst]
 			px.ctx.PostSend(px.proc, h.dlvCtx, &verbs.Packet{
-				Kind: "dlv", Size: px.fw.cfg.CtrlSize, Payload: pay,
+				Kind: "dlv", Size: px.fw.cfg.CtrlSize, Payload: pay, Span: exec,
 			})
 			return
 		}
 		dst := px.fw.proxyFor(e.Dst)
 		px.ctx.PostSend(px.proc, dst.ctx, &verbs.Packet{
-			Kind: "dlv", Size: px.fw.cfg.CtrlSize, Payload: pay,
+			Kind: "dlv", Size: px.fw.cfg.CtrlSize, Payload: pay, Span: exec,
 		})
 	}
 
@@ -208,7 +244,7 @@ func (px *Proxy) postGroupSend(g *proxyGroup, idx int) {
 	if px.fw.cfg.Mechanism == MechGVMI {
 		mkey2 := g.cachedMRs[idx]
 		if mkey2 == nil {
-			mkey2 = px.crossReg(g.host, e.MKey)
+			mkey2 = px.crossReg(g.host, e.MKey, exec)
 			if px.fw.cfg.GroupCache {
 				g.cachedMRs[idx] = mkey2
 			}
@@ -218,6 +254,7 @@ func (px *Proxy) postGroupSend(g *proxyGroup, idx int) {
 			LocalKey: mkey2.LKey(), LocalAddr: e.SrcAddr,
 			RemoteKey: e.DstRKey, RemoteAddr: e.DstAddr,
 			Size:             e.Size,
+			Span:             exec,
 			OnRemoteComplete: func(sim.Time) { px.later(notify) },
 		})
 		if err != nil {
@@ -227,13 +264,14 @@ func (px *Proxy) postGroupSend(g *proxyGroup, idx int) {
 	}
 
 	// Staging mechanism: host -> DPU staging -> destination host.
-	sb := px.getStage(e.Size)
+	sb := px.getStage(e.Size, exec)
 	px.StagedOps++
 	px.RDMAReads++
 	err := px.ctx.PostRead(px.proc, verbs.ReadOp{
 		LocalKey: sb.mr.LKey(), LocalAddr: sb.buf.Addr(),
 		RemoteKey: e.SrcRKey, RemoteAddr: e.SrcAddr,
 		Size: e.Size,
+		Span: exec,
 		OnComplete: func(sim.Time) {
 			px.later(func() {
 				px.RDMAWrites++
@@ -241,6 +279,7 @@ func (px *Proxy) postGroupSend(g *proxyGroup, idx int) {
 					LocalKey: sb.mr.LKey(), LocalAddr: sb.buf.Addr(),
 					RemoteKey: e.DstRKey, RemoteAddr: e.DstAddr,
 					Size: e.Size,
+					Span: exec,
 					OnRemoteComplete: func(sim.Time) {
 						px.later(func() {
 							px.putStage(sb)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/regcache"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/verbs"
 )
 
@@ -56,7 +57,18 @@ type Host struct {
 	// OffloadTime accumulates virtual time spent inside blocking calls of
 	// this library (Wait/GroupWait/GroupCall).
 	OffloadTime sim.Time
+
+	// curSpan is the ambient causal parent while a primitive is being
+	// issued, so registrations performed on its behalf (directly or through
+	// the caches) attach to the right operation.
+	curSpan span.ID
 }
+
+// spans returns the cluster's span collector (nil when tracing is off).
+func (h *Host) spans() *span.Collector { return h.fw.cl.Spans }
+
+// entity returns the host's span/trace entity name.
+func (h *Host) entity() string { return fmt.Sprintf("rank%d", h.rank) }
 
 // Bind attaches the handle to its process (call once, from the process).
 func (h *Host) Bind(p *sim.Proc) {
@@ -78,6 +90,7 @@ type OffloadRequest struct {
 	h    *Host
 	id   int64
 	done bool
+	span span.ID // root span of the operation (0 = untraced)
 }
 
 // Done reports completion without progressing.
@@ -95,10 +108,16 @@ func (h *Host) newReq() *OffloadRequest {
 // registration cache when enabled (keyed by the proxy's rank, per VII-B).
 func (h *Host) gvmiRegister(px *Proxy, addr mem.Addr, size int) gvmi.MKeyInfo {
 	create := func() gvmi.MKeyInfo {
+		var s span.ID
+		if sp := h.spans(); sp.Enabled() {
+			s = sp.Start(h.curSpan, span.ClassHCA, h.entity(), "verbs", "gvmi_reg")
+			sp.AttrInt(s, "size", int64(size))
+		}
 		info, err := h.fw.cl.GVMI.RegisterHost(h.proc, h.ctx, addr, size, px.gvmiID)
 		if err != nil {
 			panic(fmt.Sprintf("core: host GVMI registration: %v", err))
 		}
+		h.spans().End(s)
 		return info
 	}
 	if !h.fw.cfg.RegCaches {
@@ -111,7 +130,7 @@ func (h *Host) gvmiRegister(px *Proxy, addr mem.Addr, size int) gvmi.MKeyInfo {
 // ibRegister returns an MR for a local buffer through the IB registration
 // cache when enabled.
 func (h *Host) ibRegister(addr mem.Addr, size int) *verbs.MR {
-	create := func() *verbs.MR { return h.ctx.RegisterMR(h.proc, addr, size) }
+	create := func() *verbs.MR { return h.ctx.RegisterMRCtx(h.proc, addr, size, h.curSpan) }
 	if !h.fw.cfg.RegCaches {
 		return create()
 	}
@@ -125,6 +144,14 @@ func (h *Host) ibRegister(addr mem.Addr, size int) *verbs.MR {
 func (h *Host) SendOffload(addr mem.Addr, size, dst, tag int) *OffloadRequest {
 	px := h.fw.proxyFor(h.rank)
 	req := h.newReq()
+	if sp := h.spans(); sp.Enabled() {
+		req.span = sp.Start(0, span.ClassRank, h.entity(), "core", "send_offload")
+		sp.AttrInt(req.span, "dst", int64(dst))
+		sp.AttrInt(req.span, "size", int64(size))
+		sp.AttrInt(req.span, "tag", int64(tag))
+		h.curSpan = req.span
+		defer func() { h.curSpan = 0 }()
+	}
 	if h.fw.crashesConfigured() {
 		rec := &sendRec{req: req, dst: dst, tag: tag, size: size, addr: addr, gen: px.gen}
 		h.pendingSends[req.id] = rec
@@ -134,7 +161,7 @@ func (h *Host) SendOffload(addr mem.Addr, size, dst, tag int) *OffloadRequest {
 			return req
 		}
 	}
-	pay := &rtsMsg{Src: h.rank, Dst: dst, Tag: tag, Size: size, SrcReqID: req.id}
+	pay := &rtsMsg{Src: h.rank, Dst: dst, Tag: tag, Size: size, SrcReqID: req.id, Span: req.span}
 	if h.fw.cfg.Mechanism == MechGVMI {
 		pay.MKey = h.gvmiRegister(px, addr, size)
 	} else {
@@ -142,7 +169,7 @@ func (h *Host) SendOffload(addr mem.Addr, size, dst, tag int) *OffloadRequest {
 		pay.SrcAddr, pay.SrcRKey = addr, mr.RKey()
 	}
 	h.ctx.PostSend(h.proc, px.ctx, &verbs.Packet{
-		Kind: "rts", Size: h.fw.cfg.CtrlSize + gvmi.WireSize, Payload: pay,
+		Kind: "rts", Size: h.fw.cfg.CtrlSize + gvmi.WireSize, Payload: pay, Span: req.span,
 	})
 	if tr := h.fw.cl.Trace; tr.Enabled() {
 		tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "Send_Offload",
@@ -157,6 +184,14 @@ func (h *Host) SendOffload(addr mem.Addr, size, dst, tag int) *OffloadRequest {
 func (h *Host) RecvOffload(addr mem.Addr, size, src, tag int) *OffloadRequest {
 	px := h.fw.proxyFor(src)
 	req := h.newReq()
+	if sp := h.spans(); sp.Enabled() {
+		req.span = sp.Start(0, span.ClassRank, h.entity(), "core", "recv_offload")
+		sp.AttrInt(req.span, "src", int64(src))
+		sp.AttrInt(req.span, "size", int64(size))
+		sp.AttrInt(req.span, "tag", int64(tag))
+		h.curSpan = req.span
+		defer func() { h.curSpan = 0 }()
+	}
 	if h.fw.crashesConfigured() {
 		// A failed-over sender may already have pushed the payload eagerly.
 		if m := h.takeFoSend(src, tag); m != nil {
@@ -165,15 +200,16 @@ func (h *Host) RecvOffload(addr mem.Addr, size, src, tag int) *OffloadRequest {
 			}
 			req.done = true
 			delete(h.reqs, req.id)
+			h.spans().End(req.span)
 			h.foAck(m)
 			return req
 		}
 		h.pendingRecvs = append(h.pendingRecvs, &recvRec{req: req, src: src, tag: tag, size: size, addr: addr})
 	}
 	mr := h.ibRegister(addr, size)
-	pay := &rtrMsg{Src: src, Dst: h.rank, Tag: tag, Size: size, DstReqID: req.id, DstAddr: addr, RKey: mr.RKey()}
+	pay := &rtrMsg{Src: src, Dst: h.rank, Tag: tag, Size: size, DstReqID: req.id, DstAddr: addr, RKey: mr.RKey(), Span: req.span}
 	h.ctx.PostSend(h.proc, px.ctx, &verbs.Packet{
-		Kind: "rtr", Size: h.fw.cfg.CtrlSize, Payload: pay,
+		Kind: "rtr", Size: h.fw.cfg.CtrlSize, Payload: pay, Span: req.span,
 	})
 	if tr := h.fw.cl.Trace; tr.Enabled() {
 		tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "Recv_Offload",
@@ -193,6 +229,7 @@ func (h *Host) drainInbox() bool {
 				q.done = true
 				delete(h.reqs, m.ReqID)
 				h.dropRecords(m.ReqID)
+				h.spans().End(q.span)
 				if tr := h.fw.cl.Trace; tr.Enabled() {
 					tr.Add(h.proc.Now(), fmt.Sprintf("rank%d", h.rank), "FIN",
 						fmt.Sprintf("req=%d", m.ReqID&0xffffffff))
@@ -213,6 +250,7 @@ func (h *Host) drainInbox() bool {
 				q.done = true
 				delete(h.reqs, m.ReqID)
 				h.dropRecords(m.ReqID)
+				h.spans().End(q.span)
 			}
 		default:
 			panic(fmt.Sprintf("core: host %d: unexpected packet %T", h.rank, pkt.Payload))

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/gvmi"
 	"repro/internal/mem"
+	"repro/internal/span"
 	"repro/internal/verbs"
 )
 
@@ -21,6 +22,10 @@ type rtsMsg struct {
 	// source into DPU memory.
 	SrcAddr mem.Addr
 	SrcRKey verbs.Key
+
+	// Span is the sender's root span, carried across the host->proxy hop so
+	// the proxy's transfer work is recorded as its child (0 = untraced).
+	Span span.ID
 }
 
 // rtrMsg is the Ready-To-Receive a destination host sends to the *sender's*
@@ -31,6 +36,9 @@ type rtrMsg struct {
 	DstReqID      int64
 	DstAddr       mem.Addr
 	RKey          verbs.Key
+
+	// Span is the receiver's root span (see rtsMsg.Span).
+	Span span.ID
 }
 
 // finMsg completes one basic-primitive request on a host.
@@ -87,6 +95,10 @@ type groupPacket struct {
 	GroupID  int
 	CallSeq  int
 	Entries  []wireOp
+
+	// Span is the host-side root span of this call; the proxy's execution
+	// span for CallSeq parents to it (0 = untraced).
+	Span span.ID
 }
 
 // greplayMsg replays a cached group request (Section VII-D): on a host-side
@@ -95,6 +107,9 @@ type greplayMsg struct {
 	HostRank int
 	GroupID  int
 	CallSeq  int
+
+	// Span is the host-side root span of this call (see groupPacket.Span).
+	Span span.ID
 }
 
 // dlvMsg is the delivery notification that implements the barrier/
@@ -131,6 +146,10 @@ type foSendMsg struct {
 	Size          int
 	ReqID         int64 // sender's request, completed by the foAckMsg
 	Data          []byte
+
+	// Span is the sender's root span, kept across the failover re-execution
+	// so the eager push and its ack stay attributed to the original op.
+	Span span.ID
 }
 
 // foAckMsg completes a fallback send on the source host.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/gvmi"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/verbs"
 )
 
@@ -34,6 +35,9 @@ type oneSidedMsg struct {
 	DstAddr   mem.Addr
 	DstKey    verbs.Key
 	Size      int
+
+	// Span is the initiator's root span (0 = untraced).
+	Span span.ID
 }
 
 // ExposeWindow registers [addr, addr+size) for one-sided access and returns
@@ -66,6 +70,11 @@ func (h *Host) PutOffload(src Window, srcOff int, dst Window, dstOff, n int) *Of
 	dst.checkRange(dstOff, n)
 	req := h.newReq()
 	px := h.fw.proxyFor(h.rank)
+	if sp := h.spans(); sp.Enabled() {
+		req.span = sp.Start(0, span.ClassRank, h.entity(), "core", "put_offload")
+		sp.AttrInt(req.span, "dst", int64(dst.Rank))
+		sp.AttrInt(req.span, "size", int64(n))
+	}
 	if h.fw.crashesConfigured() {
 		// Enough to re-post the write from the host NIC if the proxy dies:
 		// the window keys resolve identically on the host.
@@ -82,7 +91,9 @@ func (h *Host) PutOffload(src Window, srcOff int, dst Window, dstOff, n int) *Of
 			Initiator: h.rank, ReqID: req.id,
 			SrcHost: h.rank, SrcMKey: src.MKey, SrcAddr: src.Addr + mem.Addr(srcOff),
 			DstAddr: dst.Addr + mem.Addr(dstOff), DstKey: dst.RKey, Size: n,
+			Span: req.span,
 		},
+		Span: req.span,
 	})
 	return req
 }
@@ -99,6 +110,11 @@ func (h *Host) GetOffload(dst Window, dstOff int, src Window, srcOff, n int) *Of
 	dst.checkRange(dstOff, n)
 	req := h.newReq()
 	px := h.fw.proxyFor(src.Rank)
+	if sp := h.spans(); sp.Enabled() {
+		req.span = sp.Start(0, span.ClassRank, h.entity(), "core", "get_offload")
+		sp.AttrInt(req.span, "src", int64(src.Rank))
+		sp.AttrInt(req.span, "size", int64(n))
+	}
 	if h.fw.crashesConfigured() {
 		// Fallback is an RDMA read posted by the initiator: pull from the
 		// remote window straight into the local one.
@@ -115,21 +131,24 @@ func (h *Host) GetOffload(dst Window, dstOff int, src Window, srcOff, n int) *Of
 			Initiator: h.rank, ReqID: req.id,
 			SrcHost: src.Rank, SrcMKey: src.MKey, SrcAddr: src.Addr + mem.Addr(srcOff),
 			DstAddr: dst.Addr + mem.Addr(dstOff), DstKey: dst.RKey, Size: n,
+			Span: req.span,
 		},
+		Span: req.span,
 	})
 	return req
 }
 
 // handleOneSided executes a window-to-window transfer on the proxy.
 func (px *Proxy) handleOneSided(m *oneSidedMsg) {
-	mkey2 := px.crossReg(m.SrcHost, m.SrcMKey)
+	mkey2 := px.crossReg(m.SrcHost, m.SrcMKey, m.Span)
 	px.RDMAWrites++
 	err := px.ctx.PostWrite(px.proc, verbs.WriteOp{
 		LocalKey: mkey2.LKey(), LocalAddr: m.SrcAddr,
 		RemoteKey: m.DstKey, RemoteAddr: m.DstAddr,
 		Size: m.Size,
+		Span: m.Span,
 		OnRemoteComplete: func(simTime sim.Time) {
-			px.later(func() { px.sendFIN(m.Initiator, m.ReqID) })
+			px.later(func() { px.sendFIN(m.Initiator, m.ReqID, m.Span) })
 		},
 	})
 	if err != nil {

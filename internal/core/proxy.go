@@ -9,6 +9,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/regcache"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/verbs"
 )
 
@@ -134,6 +135,12 @@ func (px *Proxy) sampleQueueDepth() {
 
 // GlobalID returns the proxy's global index.
 func (px *Proxy) GlobalID() int { return px.global }
+
+// spans returns the cluster's span collector (nil when tracing is off).
+func (px *Proxy) spans() *span.Collector { return px.fw.cl.Spans }
+
+// entity returns the proxy's span/trace entity name.
+func (px *Proxy) entity() string { return fmt.Sprintf("proxy%d", px.global) }
 
 // run is the proxy progress engine (Figure 8 / Algorithm 1): drain control
 // messages, fire matched transfers, resume blocked group schedules, repeat.
@@ -295,13 +302,20 @@ func (px *Proxy) transfer(pr pairMsg) {
 }
 
 // crossReg cross-registers a host mkey (through the cache when enabled,
-// keyed by source host rank per Section VII-B).
-func (px *Proxy) crossReg(srcHost int, info gvmi.MKeyInfo) *verbs.MR {
+// keyed by source host rank per Section VII-B). The span is created inside
+// the create closure so cache hits — which cost nothing — record nothing.
+func (px *Proxy) crossReg(srcHost int, info gvmi.MKeyInfo, parent span.ID) *verbs.MR {
 	create := func() *verbs.MR {
+		var s span.ID
+		if sp := px.spans(); sp.Enabled() {
+			s = sp.Start(parent, span.ClassHCA, px.entity(), "verbs", "cross_reg")
+			sp.AttrInt(s, "size", int64(info.Size))
+		}
 		mr, err := px.fw.cl.GVMI.CrossRegister(px.proc, px.ctx, info)
 		if err != nil {
 			panic(fmt.Sprintf("core: proxy %d cross-registration: %v", px.global, err))
 		}
+		px.spans().End(s)
 		return mr
 	}
 	if !px.fw.cfg.RegCaches {
@@ -311,10 +325,24 @@ func (px *Proxy) crossReg(srcHost int, info gvmi.MKeyInfo) *verbs.MR {
 	return mr
 }
 
+// transferSpan opens the proxy-side "transfer" span of a matched pair,
+// parented to the sender's root (0 when tracing is off).
+func (px *Proxy) transferSpan(pr pairMsg, mech string) span.ID {
+	sp := px.spans()
+	if !sp.Enabled() {
+		return 0
+	}
+	ts := sp.Start(pr.rts.Span, span.ClassProxy, px.entity(), "core", "transfer")
+	sp.AttrInt(ts, "size", int64(pr.rts.Size))
+	sp.AttrStr(ts, "mech", mech)
+	return ts
+}
+
 // transferGVMI: cross-register the source host buffer and RDMA-write it
 // straight into the destination host's memory (Figure 6, GVMI path).
 func (px *Proxy) transferGVMI(pr pairMsg) {
-	mkey2 := px.crossReg(pr.rts.Src, pr.rts.MKey)
+	ts := px.transferSpan(pr, "gvmi")
+	mkey2 := px.crossReg(pr.rts.Src, pr.rts.MKey, ts)
 	px.RDMAWrites++
 	if tr := px.fw.cl.Trace; tr.Enabled() {
 		tr.Add(px.proc.Now(), fmt.Sprintf("proxy%d", px.global), "gvmi-write",
@@ -324,7 +352,9 @@ func (px *Proxy) transferGVMI(pr pairMsg) {
 		LocalKey: mkey2.LKey(), LocalAddr: pr.rts.MKey.Addr,
 		RemoteKey: pr.rtr.RKey, RemoteAddr: pr.rtr.DstAddr,
 		Size: pr.rts.Size,
-		OnRemoteComplete: func(sim.Time) {
+		Span: ts,
+		OnRemoteComplete: func(at sim.Time) {
+			px.spans().EndAt(ts, at)
 			px.later(func() { px.finish(pr) })
 		},
 	})
@@ -337,7 +367,8 @@ func (px *Proxy) transferGVMI(pr pairMsg) {
 // RDMA-write from the staging buffer to the destination (Figure 6, staged
 // path — the extra hop the GVMI design removes).
 func (px *Proxy) transferStaged(pr pairMsg) {
-	sb := px.getStage(pr.rts.Size)
+	ts := px.transferSpan(pr, "staged")
+	sb := px.getStage(pr.rts.Size, ts)
 	px.StagedOps++
 	px.RDMAReads++
 	if tr := px.fw.cl.Trace; tr.Enabled() {
@@ -348,6 +379,7 @@ func (px *Proxy) transferStaged(pr pairMsg) {
 		LocalKey: sb.mr.LKey(), LocalAddr: sb.buf.Addr(),
 		RemoteKey: pr.rts.SrcRKey, RemoteAddr: pr.rts.SrcAddr,
 		Size: pr.rts.Size,
+		Span: ts,
 		OnComplete: func(sim.Time) {
 			px.later(func() {
 				px.RDMAWrites++
@@ -355,7 +387,9 @@ func (px *Proxy) transferStaged(pr pairMsg) {
 					LocalKey: sb.mr.LKey(), LocalAddr: sb.buf.Addr(),
 					RemoteKey: pr.rtr.RKey, RemoteAddr: pr.rtr.DstAddr,
 					Size: pr.rts.Size,
-					OnRemoteComplete: func(sim.Time) {
+					Span: ts,
+					OnRemoteComplete: func(at sim.Time) {
+						px.spans().EndAt(ts, at)
 						px.later(func() {
 							px.putStage(sb)
 							px.finish(pr)
@@ -373,16 +407,19 @@ func (px *Proxy) transferStaged(pr pairMsg) {
 	}
 }
 
-// finish sends the FIN packets to both hosts of a completed pair.
+// finish sends the FIN packets to both hosts of a completed pair. Each FIN
+// flight parents to the respective host's root span — the completion
+// notification is the tail of that operation's critical path.
 func (px *Proxy) finish(pr pairMsg) {
-	px.sendFIN(pr.rts.Src, pr.rts.SrcReqID)
-	px.sendFIN(pr.rtr.Dst, pr.rtr.DstReqID)
+	px.sendFIN(pr.rts.Src, pr.rts.SrcReqID, pr.rts.Span)
+	px.sendFIN(pr.rtr.Dst, pr.rtr.DstReqID, pr.rtr.Span)
 }
 
-func (px *Proxy) sendFIN(hostRank int, reqID int64) {
+func (px *Proxy) sendFIN(hostRank int, reqID int64, root span.ID) {
 	h := px.fw.hosts[hostRank]
 	px.ctx.PostSend(px.proc, h.ctx, &verbs.Packet{
 		Kind: "fin", Size: px.fw.cfg.CtrlSize, Payload: &finMsg{ReqID: reqID},
+		Span: root,
 	})
 }
 
@@ -400,8 +437,8 @@ func (px *Proxy) later(fn func()) {
 
 // getStage returns a registered DPU staging buffer of at least size bytes
 // (power-of-two pool; registration is charged to the proxy's ARM core on
-// first allocation).
-func (px *Proxy) getStage(size int) *stageBuf {
+// first allocation, recorded under parent when it happens).
+func (px *Proxy) getStage(size int, parent span.ID) *stageBuf {
 	cls := 1
 	for cls < size {
 		cls <<= 1
@@ -412,7 +449,7 @@ func (px *Proxy) getStage(size int) *stageBuf {
 		return sb
 	}
 	buf := px.site.Space.Alloc(cls, px.fw.cl.Cfg.BackedPayload)
-	mr := px.ctx.RegisterMR(px.proc, buf.Addr(), cls)
+	mr := px.ctx.RegisterMRCtx(px.proc, buf.Addr(), cls, parent)
 	return &stageBuf{buf: buf, mr: mr}
 }
 

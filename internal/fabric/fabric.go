@@ -18,6 +18,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/span"
 )
 
 // Params describes one endpoint's injection characteristics.
@@ -133,6 +134,7 @@ type Fabric struct {
 	eps []*Endpoint
 	inj *fault.Injector   // nil = no fault injection
 	met *metrics.Registry // nil = no metrics
+	sp  *span.Collector   // nil = no span tracing
 }
 
 // New creates a fabric on kernel k.
@@ -158,6 +160,15 @@ func (f *Fabric) SetMetrics(m *metrics.Registry) { f.met = m }
 
 // Metrics returns the attached registry (nil when metrics are off).
 func (f *Fabric) Metrics() *metrics.Registry { return f.met }
+
+// SetSpans attaches a span collector; nil disables tracing. Fated or not,
+// every transfer carrying a parent span then records an injection span on
+// the sender port and a wire span for the flight. Span collection never
+// consumes virtual time.
+func (f *Fabric) SetSpans(c *span.Collector) { f.sp = c }
+
+// Spans returns the attached span collector (nil when tracing is off).
+func (f *Fabric) Spans() *span.Collector { return f.sp }
 
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
@@ -195,7 +206,14 @@ func (f *Fabric) Latency(src, dst *Endpoint) sim.Time {
 // Transfer may be called from process or handler context; it never blocks.
 // CPU costs of composing the message are the caller's business.
 func (f *Fabric) Transfer(src, dst *Endpoint, size int, deliver func()) (txDone, arrive sim.Time) {
-	return f.transfer(src, dst, size, deliver, fault.FateDeliver)
+	return f.transfer(src, dst, size, deliver, fault.FateDeliver, 0)
+}
+
+// TransferCtx is Transfer carrying span context: when a collector is
+// attached, the transfer's injection and wire spans are recorded as
+// children of parent. Timing is identical to Transfer.
+func (f *Fabric) TransferCtx(src, dst *Endpoint, size int, deliver func(), parent span.ID) (txDone, arrive sim.Time) {
+	return f.transfer(src, dst, size, deliver, fault.FateDeliver, parent)
 }
 
 // TransferFated is Transfer with fault injection: the attached injector
@@ -212,19 +230,26 @@ func (f *Fabric) Transfer(src, dst *Endpoint, size int, deliver func()) (txDone,
 // FateCorrupt it is the end of port occupancy; for FateDrop it is zero and
 // must not be used as a timestamp).
 func (f *Fabric) TransferFated(src, dst *Endpoint, size int, deliver func()) (txDone, arrive sim.Time, delivered bool, fate fault.Fate) {
+	return f.TransferFatedCtx(src, dst, size, deliver, 0)
+}
+
+// TransferFatedCtx is TransferFated carrying span context (see
+// TransferCtx). Drop and corrupt fates are recorded on the spans as a
+// "fate" attribute, so a retransmitted op shows every attempt's flight.
+func (f *Fabric) TransferFatedCtx(src, dst *Endpoint, size int, deliver func(), parent span.ID) (txDone, arrive sim.Time, delivered bool, fate fault.Fate) {
 	fate = f.inj.FateFor()
 	if fate != fault.FateDeliver {
 		f.inj.Note(f.k.Now(), "fabric", fate.String(),
 			fmt.Sprintf("%s->%s size=%d", src.name, dst.name, size))
 	}
-	txDone, arrive = f.transfer(src, dst, size, deliver, fate)
+	txDone, arrive = f.transfer(src, dst, size, deliver, fate, parent)
 	delivered = fate == fault.FateDeliver || fate == fault.FateDelay
 	return txDone, arrive, delivered, fate
 }
 
 // transfer computes endpoint occupancy and schedules delivery according to
 // the message's fate.
-func (f *Fabric) transfer(src, dst *Endpoint, size int, deliver func(), fate fault.Fate) (txDone, arrive sim.Time) {
+func (f *Fabric) transfer(src, dst *Endpoint, size int, deliver func(), fate fault.Fate, parent span.ID) (txDone, arrive sim.Time) {
 	if src == nil || dst == nil {
 		panic("fabric: nil endpoint")
 	}
@@ -252,6 +277,12 @@ func (f *Fabric) transfer(src, dst *Endpoint, size int, deliver func(), fate fau
 	if fate == fault.FateDrop {
 		// Lost on the wire: the receiver never sees it.
 		src.mMsgsDropped.Inc()
+		if f.sp.Enabled() {
+			inj := f.sp.StartAt(parent, span.ClassHCA, src.name, "fabric", "inject", start)
+			f.sp.AttrInt(inj, "size", int64(size))
+			f.sp.AttrStr(inj, "fate", "drop")
+			f.sp.EndAt(inj, txDone)
+		}
 		return txDone, 0
 	}
 
@@ -270,6 +301,15 @@ func (f *Fabric) transfer(src, dst *Endpoint, size int, deliver func(), fate fau
 		dst.BytesDiscarded += int64(size)
 		dst.mMsgsDisc.Inc()
 		dst.mBytesDisc.Add(int64(size))
+		if f.sp.Enabled() {
+			inj := f.sp.StartAt(parent, span.ClassHCA, src.name, "fabric", "inject", start)
+			f.sp.AttrInt(inj, "size", int64(size))
+			f.sp.EndAt(inj, txDone)
+			wire := f.sp.StartAt(parent, span.ClassWire, src.name+"->"+dst.name, "fabric", "wire", start+txPar.Overhead)
+			f.sp.AttrInt(wire, "size", int64(size))
+			f.sp.AttrStr(wire, "fate", "corrupt")
+			f.sp.EndAt(wire, arrive)
+		}
 		return txDone, arrive
 	}
 	dst.MsgsRecv++
@@ -282,6 +322,21 @@ func (f *Fabric) transfer(src, dst *Endpoint, size int, deliver func(), fate fau
 		// port may overtake the delayed one; see DESIGN.md §6.
 		dst.mMsgsDelayed.Inc()
 		arrive += f.inj.Spike()
+	}
+
+	if f.sp.Enabled() {
+		// Injection span: sender port occupied [start, txDone]. Wire span:
+		// head leaves after the overhead, flight + receive serialization
+		// end at arrive (including any delay spike).
+		inj := f.sp.StartAt(parent, span.ClassHCA, src.name, "fabric", "inject", start)
+		f.sp.AttrInt(inj, "size", int64(size))
+		f.sp.EndAt(inj, txDone)
+		wire := f.sp.StartAt(parent, span.ClassWire, src.name+"->"+dst.name, "fabric", "wire", start+txPar.Overhead)
+		f.sp.AttrInt(wire, "size", int64(size))
+		if fate == fault.FateDelay {
+			f.sp.AttrStr(wire, "fate", "delay")
+		}
+		f.sp.EndAt(wire, arrive)
 	}
 
 	if deliver != nil {

@@ -195,9 +195,34 @@ func promName(layer, name string) string {
 	return "offload_" + mangle(layer) + "_" + mangle(name)
 }
 
+// promLabel renders one label value in Prometheus text exposition format.
+// The format defines exactly three escapes inside a quoted label value —
+// backslash, double-quote and newline. Go's %q verb is NOT equivalent: it
+// escapes non-ASCII and control characters Go-style (\t, é, ...),
+// which Prometheus parsers reject or misread.
+func promLabel(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
 // WritePrometheus writes the snapshot in Prometheus text exposition format.
 // Entities become the "entity" label; histogram bucket bounds are emitted
-// as cumulative le="..." series in virtual nanoseconds.
+// as cumulative le="..." series in virtual nanoseconds. Series order
+// follows the snapshot's sorted key order, so output is deterministic.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	typed := map[string]bool{} // emit each # TYPE line once per metric name
 	header := func(name, typ string) {
@@ -209,12 +234,12 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, c := range s.Counters {
 		n := promName(c.Layer, c.Name)
 		header(n, "counter")
-		fmt.Fprintf(w, "%s{entity=%q} %d\n", n, c.Entity, c.Value)
+		fmt.Fprintf(w, "%s{entity=%s} %d\n", n, promLabel(c.Entity), c.Value)
 	}
 	for _, g := range s.Gauges {
 		n := promName(g.Layer, g.Name)
 		header(n, "gauge")
-		fmt.Fprintf(w, "%s{entity=%q} %g\n", n, g.Entity, g.Value)
+		fmt.Fprintf(w, "%s{entity=%s} %g\n", n, promLabel(g.Entity), g.Value)
 	}
 	for _, h := range s.Histograms {
 		n := promName(h.Layer, h.Name)
@@ -222,11 +247,11 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 		var cum int64
 		for _, b := range h.Buckets {
 			cum += b.Count
-			fmt.Fprintf(w, "%s_bucket{entity=%q,le=%q} %d\n", n, h.Entity, fmt.Sprint(b.Lt-1), cum)
+			fmt.Fprintf(w, "%s_bucket{entity=%s,le=%s} %d\n", n, promLabel(h.Entity), promLabel(fmt.Sprint(b.Lt-1)), cum)
 		}
-		fmt.Fprintf(w, "%s_bucket{entity=%q,le=\"+Inf\"} %d\n", n, h.Entity, h.Count)
-		fmt.Fprintf(w, "%s_sum{entity=%q} %d\n", n, h.Entity, h.SumNS)
-		fmt.Fprintf(w, "%s_count{entity=%q} %d\n", n, h.Entity, h.Count)
+		fmt.Fprintf(w, "%s_bucket{entity=%s,le=\"+Inf\"} %d\n", n, promLabel(h.Entity), h.Count)
+		fmt.Fprintf(w, "%s_sum{entity=%s} %d\n", n, promLabel(h.Entity), h.SumNS)
+		fmt.Fprintf(w, "%s_count{entity=%s} %d\n", n, promLabel(h.Entity), h.Count)
 	}
 	return nil
 }

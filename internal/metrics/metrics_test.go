@@ -151,6 +151,84 @@ func TestPrometheusExport(t *testing.T) {
 	}
 }
 
+// Label-value escaping: the exposition format defines exactly three
+// escapes (backslash, quote, newline). Everything else — tabs, non-ASCII —
+// passes through raw; Go's %q would mangle both.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	for in, want := range map[string]string{
+		`plain`:      `"plain"`,
+		`a\b`:        `"a\\b"`,
+		`say "hi"`:   `"say \"hi\""`,
+		"two\nlines": `"two\nlines"`,
+		"tab\there":  "\"tab\there\"", // tab stays raw, NOT \t
+		"nöde0":      "\"nöde0\"",     // non-ASCII stays raw, NOT \u00f6
+		"\\\"\n":     `"\\\"\n"`,      // all three, adjacent
+		`trailing\`:  `"trailing\\"`,
+		"":           `""`,
+	} {
+		if got := promLabel(in); got != want {
+			t.Errorf("promLabel(%q) = %s, want %s", in, got, want)
+		}
+	}
+	// End to end: a hostile entity name survives into the exposition text
+	// with valid escaping only.
+	r := NewRegistry()
+	r.Counter("fabric", "a\\b\"c\nd", "msgs_tx").Add(1)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `offload_fabric_msgs_tx{entity="a\\b\"c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("exposition missing %s:\n%s", want, buf.String())
+	}
+	if strings.Count(buf.String(), "\n") != 2 { // TYPE line + series line
+		t.Fatalf("raw newline leaked into exposition:\n%q", buf.String())
+	}
+}
+
+// Golden ordering: the full Prometheus exposition of a fixed registry is
+// byte-stable — series follow the snapshot's sorted key order, TYPE
+// headers appear once, immediately before their first series.
+func TestPrometheusGoldenOrdering(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Counter("verbs", "n1.host", "posts").Add(2)
+		r.Counter("verbs", "n0.host", "posts").Add(1)
+		r.Counter("core", "proxy0", "ctrl_msgs").Add(5)
+		r.Gauge("core", "proxy0", "queue_depth").Set(3)
+		h := r.Histogram("verbs", "all", "reg_latency_ns")
+		h.Observe(0)
+		h.Observe(3)
+		var buf bytes.Buffer
+		if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	golden := `# TYPE offload_core_ctrl_msgs counter
+offload_core_ctrl_msgs{entity="proxy0"} 5
+# TYPE offload_verbs_posts counter
+offload_verbs_posts{entity="n0.host"} 1
+offload_verbs_posts{entity="n1.host"} 2
+# TYPE offload_core_queue_depth gauge
+offload_core_queue_depth{entity="proxy0"} 3
+# TYPE offload_verbs_reg_latency_ns histogram
+offload_verbs_reg_latency_ns_bucket{entity="all",le="0"} 1
+offload_verbs_reg_latency_ns_bucket{entity="all",le="3"} 2
+offload_verbs_reg_latency_ns_bucket{entity="all",le="+Inf"} 2
+offload_verbs_reg_latency_ns_sum{entity="all"} 3
+offload_verbs_reg_latency_ns_count{entity="all"} 2
+`
+	got := build()
+	if got != golden {
+		t.Fatalf("exposition diverged from golden:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+	if again := build(); again != got {
+		t.Fatal("exposition not deterministic across identical registries")
+	}
+}
+
 // Validate rejects malformed snapshots.
 func TestValidateRejectsMalformed(t *testing.T) {
 	good := sampleRegistry().Snapshot()

@@ -1,8 +1,11 @@
 package mpi
 
 import (
+	"fmt"
+
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/verbs"
 )
 
@@ -15,6 +18,7 @@ type Request struct {
 	peer   int // destination (send) or source-match (recv, AnySource ok)
 	tag    int
 	done   bool
+	span   span.ID // root span of the operation (0 = untraced)
 }
 
 // Done reports completion without progressing (see Test).
@@ -32,13 +36,33 @@ type inMsg struct {
 	sendReq  *Request   // shm, rts: sender's request to complete
 	rkey     verbs.Key  // rts: key for the RDMA read
 	srcCtx   *verbs.Ctx // sender's context (FIN destination, wakeups)
+	span     span.ID    // sender's root span, carried across the hop
+}
+
+// spans returns the cluster's span collector (nil when tracing is off).
+func (r *Rank) spans() *span.Collector { return r.w.Cl.Spans }
+
+// entity returns the rank's span/trace entity name.
+func (r *Rank) entity() string { return fmt.Sprintf("rank%d", r.rank) }
+
+// startP2PSpan opens an mpi-layer root span for one point-to-point request.
+func (r *Rank) startP2PSpan(req *Request, name string, peer int) {
+	sp := r.spans()
+	if !sp.Enabled() {
+		return
+	}
+	req.span = sp.Start(0, span.ClassRank, r.entity(), "mpi", name)
+	sp.AttrInt(req.span, "peer", int64(peer))
+	sp.AttrInt(req.span, "size", int64(req.size))
+	sp.AttrInt(req.span, "tag", int64(req.tag))
 }
 
 // Isend starts a nonblocking send of [addr, addr+size) to rank dst.
 func (r *Rank) Isend(addr mem.Addr, size, dst, tag int) *Request {
 	req := &Request{r: r, addr: addr, size: size, peer: dst, tag: tag}
+	r.startP2PSpan(req, "isend", dst)
 	cl := r.w.Cl
-	msg := &inMsg{src: r.rank, tag: tag, size: size, srcCtx: r.ctx}
+	msg := &inMsg{src: r.rank, tag: tag, size: size, srcCtx: r.ctx, span: req.span}
 	dstRank := r.w.ranks[dst]
 
 	if dst == r.rank {
@@ -60,6 +84,7 @@ func (r *Rank) Isend(addr mem.Addr, size, dst, tag int) *Request {
 			msg.data = snapshot(r.site.Space, addr, size)
 			r.deliverLocal(dstRank, msg, cl.Cfg.ShmLatency)
 			req.done = true
+			r.spans().End(req.span)
 		} else {
 			// Large intra-node: single copy performed by the receiver at
 			// match time; the sender completes when the copy finishes.
@@ -78,9 +103,10 @@ func (r *Rank) Isend(addr mem.Addr, size, dst, tag int) *Request {
 		msg.kind = "eager"
 		msg.data = snapshot(r.site.Space, addr, size)
 		r.ctx.PostSend(r.proc, dstRank.ctx, &verbs.Packet{
-			Kind: "mpi", Size: size + r.w.cfg.HeaderSize, Payload: msg,
+			Kind: "mpi", Size: size + r.w.cfg.HeaderSize, Payload: msg, Span: req.span,
 		})
 		req.done = true
+		r.spans().End(req.span)
 		return req
 	}
 
@@ -89,11 +115,11 @@ func (r *Rank) Isend(addr mem.Addr, size, dst, tag int) *Request {
 	// RDMA-reads the data and FINs back. The send completes when the FIN is
 	// processed — which requires this process to re-enter the library.
 	r.w.mRdv.Inc()
-	mr := r.registerCached(addr, size)
+	mr := r.registerCachedCtx(addr, size, req.span)
 	msg.kind = "rts"
 	msg.srcAddr, msg.rkey, msg.sendReq = addr, mr.RKey(), req
 	r.ctx.PostSend(r.proc, dstRank.ctx, &verbs.Packet{
-		Kind: "mpi", Size: r.w.cfg.HeaderSize, Payload: msg,
+		Kind: "mpi", Size: r.w.cfg.HeaderSize, Payload: msg, Span: req.span,
 	})
 	return req
 }
@@ -102,6 +128,7 @@ func (r *Rank) Isend(addr mem.Addr, size, dst, tag int) *Request {
 // (or AnySource) with the given tag (or AnyTag).
 func (r *Rank) Irecv(addr mem.Addr, size, src, tag int) *Request {
 	req := &Request{r: r, isRecv: true, addr: addr, size: size, peer: src, tag: tag}
+	r.startP2PSpan(req, "irecv", src)
 	// Check the unexpected queue first (arrival before post).
 	for i, m := range r.unexpected {
 		if matches(req, m) {
@@ -127,8 +154,14 @@ func snapshot(sp *mem.Space, addr mem.Addr, size int) []byte {
 
 // registerCached returns an MR for [addr,size), registering on cache miss.
 func (r *Rank) registerCached(addr mem.Addr, size int) *verbs.MR {
+	return r.registerCachedCtx(addr, size, 0)
+}
+
+// registerCachedCtx is registerCached with span context: a cache miss
+// records the registration under parent (hits record nothing).
+func (r *Rank) registerCachedCtx(addr mem.Addr, size int, parent span.ID) *verbs.MR {
 	mr, _ := r.regCache.GetOrCreate(0, addr, size, func() *verbs.MR {
-		return r.ctx.RegisterMR(r.proc, addr, size)
+		return r.ctx.RegisterMRCtx(r.proc, addr, size, parent)
 	})
 	return mr
 }
@@ -168,6 +201,7 @@ func (r *Rank) handleMatch(req *Request, m *inMsg) {
 		r.site.Space.WriteAt(req.addr, m.data, m.size)
 		req.done = true
 		r.w.mRecvLat.Observe(r.proc.Now() - matchedAt)
+		r.spans().End(req.span)
 	case "shm":
 		r.proc.AdvanceBusy(cl.CopyCost(m.size))
 		var payload []byte
@@ -177,24 +211,31 @@ func (r *Rank) handleMatch(req *Request, m *inMsg) {
 		r.site.Space.WriteAt(req.addr, payload, m.size)
 		req.done = true
 		r.w.mRecvLat.Observe(r.proc.Now() - matchedAt)
+		r.spans().End(req.span)
 		m.sendReq.done = true
+		r.spans().End(m.sendReq.span)
 		m.srcCtx.InboxCond.Broadcast() // wake the sender if it is waiting
 	case "rts":
 		// Rendezvous: RDMA-read the payload from the sender's buffer.
-		mr := r.registerCached(req.addr, req.size)
+		mr := r.registerCachedCtx(req.addr, req.size, req.span)
 		err := r.ctx.PostRead(r.proc, verbs.ReadOp{
 			LocalKey: mr.LKey(), LocalAddr: req.addr,
 			RemoteKey: m.rkey, RemoteAddr: m.srcAddr,
 			Size: m.size,
+			Span: req.span,
 			OnComplete: func(at sim.Time) {
 				req.done = true
 				r.w.mRecvLat.Observe(at - matchedAt)
+				r.spans().EndAt(req.span, at)
 				// FIN goes out the next time the receiver is inside the
 				// library (the HCA completed; the CPU must post the FIN).
+				// The FIN flight parents to the *sender's* span: it is the
+				// tail of the sender's completion path.
 				r.deferred = append(r.deferred, func() {
 					r.ctx.PostSend(r.proc, m.srcCtx, &verbs.Packet{
 						Kind: "mpi", Size: r.w.cfg.HeaderSize,
 						Payload: &inMsg{kind: "fin", src: r.rank, sendReq: m.sendReq},
+						Span:    m.span,
 					})
 				})
 				r.ctx.InboxCond.Broadcast()
@@ -214,6 +255,7 @@ func (r *Rank) dispatch(m *inMsg) {
 	r.proc.AdvanceBusy(r.w.cfg.MatchCost)
 	if m.kind == "fin" {
 		m.sendReq.done = true
+		r.spans().End(m.sendReq.span)
 		return
 	}
 	for i, req := range r.posted {

@@ -54,6 +54,14 @@ func NewKernel() *Kernel {
 	return &Kernel{yield: make(chan struct{})}
 }
 
+// Clock is the read-only view of a virtual clock. Kernel satisfies it;
+// observability layers (metrics, spans) depend on Clock rather than the
+// full Kernel so they can read timestamps without being able to schedule
+// work — reading a Clock can never perturb the simulation.
+type Clock interface {
+	Now() Time
+}
+
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 

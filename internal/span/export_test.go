@@ -1,0 +1,149 @@
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleCollector() *Collector {
+	c := New(0)
+	r := mk(c, 0, ClassRank, "rank0", "coll", "ialltoall", 0, 100)
+	c.AttrInt(r, "size", 8192)
+	e := mk(c, r, ClassProxy, "n0.dpu/proxy0", "core", "group_exec", 10, 90)
+	c.AttrStr(e, "mech", "gvmi")
+	w := mk(c, e, ClassHCA, "n0.dpu", "verbs", "rdma_write", 20, 60)
+	mk(c, w, ClassWire, `n0.dpu->n1.host`, "fabric", "wire", 30, 55)
+	c.StartAt(r, ClassRank, "rank0", "core", "open_op", 95) // stays open
+	return c
+}
+
+// JSONL: one valid JSON object per line, creation order, open spans
+// flagged, attrs preserved with types — and byte-identical across calls.
+func TestWriteJSONL(t *testing.T) {
+	c := sampleCollector()
+	var b1, b2 strings.Builder
+	if err := c.WriteJSONL(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteJSONL(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("JSONL output not deterministic")
+	}
+	sc := bufio.NewScanner(strings.NewReader(b1.String()))
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != c.Len() {
+		t.Fatalf("%d lines for %d spans", len(lines), c.Len())
+	}
+	if lines[0]["id"].(float64) != 1 || lines[0]["layer"] != "coll" {
+		t.Fatalf("line 0 = %v", lines[0])
+	}
+	attrs := lines[0]["attrs"].(map[string]any)
+	if attrs["size"].(float64) != 8192 {
+		t.Fatalf("root attrs = %v", attrs)
+	}
+	if lines[1]["attrs"].(map[string]any)["mech"] != "gvmi" {
+		t.Fatalf("exec attrs = %v", lines[1]["attrs"])
+	}
+	last := lines[len(lines)-1]
+	if last["open"] != true || last["end_ns"] != last["begin_ns"] {
+		t.Fatalf("open span line = %v", last)
+	}
+
+	var nilC *Collector
+	var nb strings.Builder
+	if err := nilC.WriteJSONL(&nb); err != nil || nb.Len() != 0 {
+		t.Errorf("nil WriteJSONL: err=%v out=%q", err, nb.String())
+	}
+}
+
+// Chrome trace: the whole document is valid JSON; thread metadata names
+// every entity; X events carry microsecond timestamps; cross-entity edges
+// get s/f flow pairs and same-entity edges do not.
+func TestWriteChromeTrace(t *testing.T) {
+	c := sampleCollector()
+	var b strings.Builder
+	if err := c.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("trace not valid JSON: %v\n%s", err, b.String())
+	}
+	byPh := map[string][]map[string]any{}
+	for _, e := range events {
+		ph := e["ph"].(string)
+		byPh[ph] = append(byPh[ph], e)
+	}
+	if len(byPh["M"]) != 4 { // rank0, n0.dpu/proxy0, n0.dpu, n0.dpu->n1.host
+		t.Fatalf("%d thread_name events, want 4", len(byPh["M"]))
+	}
+	if len(byPh["X"]) != c.Len() {
+		t.Fatalf("%d X events for %d spans", len(byPh["X"]), c.Len())
+	}
+	// Root: ts 0, dur 100ns = 0.1us.
+	root := byPh["X"][0]
+	if root["dur"].(float64) != 0.1 {
+		t.Fatalf("root dur = %v us, want 0.1", root["dur"])
+	}
+	// Four parent edges; the open rank0 child shares the root's entity, so
+	// three cross-entity flow pairs.
+	if len(byPh["s"]) != 3 || len(byPh["f"]) != 3 {
+		t.Fatalf("flow events s=%d f=%d, want 3/3", len(byPh["s"]), len(byPh["f"]))
+	}
+
+	var nilC *Collector
+	var nb strings.Builder
+	if err := nilC.WriteChromeTrace(&nb); err != nil {
+		t.Fatal(err)
+	}
+	var empty []any
+	if err := json.Unmarshal([]byte(nb.String()), &empty); err != nil || len(empty) != 0 {
+		t.Errorf("nil trace = %q", nb.String())
+	}
+}
+
+// Folded stacks: self-time per stack, root-first frames, sorted lines,
+// zero-self-time spans omitted.
+func TestWriteFolded(t *testing.T) {
+	c := sampleCollector()
+	var b strings.Builder
+	if err := c.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	want := map[string]string{
+		"coll.ialltoall(rank0) 20":                                                                                      "root self-time 100-80",
+		"coll.ialltoall(rank0);core.group_exec(n0.dpu/proxy0) 40":                                                       "exec self-time 80-40",
+		"coll.ialltoall(rank0);core.group_exec(n0.dpu/proxy0);verbs.rdma_write(n0.dpu) 15":                              "write self-time 40-25",
+		"coll.ialltoall(rank0);core.group_exec(n0.dpu/proxy0);verbs.rdma_write(n0.dpu);fabric.wire(n0.dpu->n1.host) 25": "wire leaf 25",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("%d folded lines, want %d:\n%s", len(lines), len(want), out)
+	}
+	for _, ln := range lines {
+		if _, ok := want[ln]; !ok {
+			t.Errorf("unexpected folded line %q", ln)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "coll.ialltoall(rank0) ") {
+		t.Errorf("lines not sorted: first = %q", lines[0])
+	}
+
+	var nilC *Collector
+	var nb strings.Builder
+	if err := nilC.WriteFolded(&nb); err != nil || nb.Len() != 0 {
+		t.Errorf("nil WriteFolded: err=%v out=%q", err, nb.String())
+	}
+}

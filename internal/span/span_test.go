@@ -1,0 +1,174 @@
+package span
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeClock satisfies sim.Clock without a kernel.
+type fakeClock struct{ t sim.Time }
+
+func (f *fakeClock) Now() sim.Time { return f.t }
+
+// A nil collector is fully inert: every method is callable and returns
+// zero values, and Start hands out the zero ID that all other methods
+// accept as a no-op.
+func TestNilCollectorIsInert(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Error("nil collector reports Enabled")
+	}
+	c.AttachClock(&fakeClock{})
+	id := c.Start(0, ClassRank, "rank0", "mpi", "isend")
+	if id != 0 {
+		t.Fatalf("nil Start returned %d, want 0", id)
+	}
+	if got := c.StartAt(0, ClassRank, "rank0", "mpi", "isend", 5); got != 0 {
+		t.Fatalf("nil StartAt returned %d, want 0", got)
+	}
+	c.End(id)
+	c.EndAt(id, 10)
+	c.AttrInt(id, "size", 8)
+	c.AttrStr(id, "mech", "gvmi")
+	if c.Len() != 0 || c.Dropped() != 0 {
+		t.Error("nil collector has non-zero Len/Dropped")
+	}
+	if _, ok := c.Get(1); ok {
+		t.Error("nil Get reported ok")
+	}
+	if c.Spans() != nil || c.Roots() != nil || c.RootsNamed("mpi", "isend") != nil {
+		t.Error("nil collector returned non-nil slices")
+	}
+	if c.CriticalPath(1) != nil || c.Attribution([]ID{1}) != nil {
+		t.Error("nil analysis returned non-nil")
+	}
+}
+
+// Operations on ID 0 (what a nil or full collector hands out) never touch
+// recorded spans.
+func TestZeroIDIsNoOp(t *testing.T) {
+	c := New(0)
+	id := c.StartAt(0, ClassRank, "rank0", "mpi", "isend", 1)
+	c.EndAt(0, 9)
+	c.AttrInt(0, "k", 1)
+	c.AttrStr(0, "k", "v")
+	s, ok := c.Get(id)
+	if !ok || s.Ended || len(s.Attrs) != 0 {
+		t.Fatalf("ID-0 ops leaked onto span: %+v", s)
+	}
+	if _, ok := c.Get(0); ok {
+		t.Error("Get(0) reported ok")
+	}
+}
+
+// The limit bounds recorded spans exactly: the limit-th Start succeeds, the
+// next is dropped and returns 0, and Dropped counts each refusal.
+func TestLimitExactBoundary(t *testing.T) {
+	c := New(2)
+	a := c.StartAt(0, ClassRank, "r", "l", "a", 0)
+	b := c.StartAt(0, ClassRank, "r", "l", "b", 1)
+	if a != 1 || b != 2 {
+		t.Fatalf("ids = %d,%d, want 1,2", a, b)
+	}
+	if c.Dropped() != 0 {
+		t.Fatalf("Dropped = %d before limit hit", c.Dropped())
+	}
+	d := c.StartAt(0, ClassRank, "r", "l", "c", 2)
+	if d != 0 {
+		t.Fatalf("over-limit Start returned %d, want 0", d)
+	}
+	if c.Len() != 2 || c.Dropped() != 1 {
+		t.Fatalf("Len=%d Dropped=%d, want 2/1", c.Len(), c.Dropped())
+	}
+	c.StartAt(0, ClassRank, "r", "l", "d", 3)
+	if c.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", c.Dropped())
+	}
+}
+
+// First End wins: multiple completion observers (Wait vs Test, FIN vs
+// failover ack) may all End the same span; only the earliest sticks.
+func TestFirstEndWins(t *testing.T) {
+	c := New(0)
+	id := c.StartAt(0, ClassRank, "r", "mpi", "isend", 10)
+	c.EndAt(id, 25)
+	c.EndAt(id, 99)
+	s, _ := c.Get(id)
+	if !s.Ended || s.End != 25 {
+		t.Fatalf("End = %d (ended=%v), want first-wins 25", s.End, s.Ended)
+	}
+	if s.Dur() != 15 {
+		t.Fatalf("Dur = %d, want 15", s.Dur())
+	}
+}
+
+// Start/End without an attached clock record time 0; with a clock they
+// read it (and never advance it — the collector has no way to).
+func TestClockAttachment(t *testing.T) {
+	c := New(0)
+	a := c.Start(0, ClassRank, "r", "l", "noclock")
+	s, _ := c.Get(a)
+	if s.Begin != 0 {
+		t.Fatalf("clockless Begin = %d, want 0", s.Begin)
+	}
+	clk := &fakeClock{t: 42}
+	c.AttachClock(clk)
+	b := c.Start(0, ClassProxy, "p", "l", "clocked")
+	clk.t = 50
+	c.End(b)
+	s, _ = c.Get(b)
+	if s.Begin != 42 || s.End != 50 {
+		t.Fatalf("span = [%d,%d], want [42,50]", s.Begin, s.End)
+	}
+}
+
+func TestAttrsAndOpenDur(t *testing.T) {
+	c := New(0)
+	id := c.StartAt(0, ClassHCA, "n0.hca", "verbs", "rdma_write", 3)
+	c.AttrInt(id, "size", 8192)
+	c.AttrStr(id, "mech", "gvmi")
+	s, _ := c.Get(id)
+	if len(s.Attrs) != 2 || !s.Attrs[0].IsInt || s.Attrs[0].Int != 8192 ||
+		s.Attrs[1].Str != "gvmi" {
+		t.Fatalf("attrs = %+v", s.Attrs)
+	}
+	if s.Dur() != 0 {
+		t.Fatalf("open span Dur = %d, want 0", s.Dur())
+	}
+}
+
+func TestRootsAndRootsNamed(t *testing.T) {
+	c := New(0)
+	r1 := c.StartAt(0, ClassRank, "rank0", "coll", "ialltoall", 0)
+	r2 := c.StartAt(0, ClassRank, "rank1", "mpi", "isend", 1)
+	c.StartAt(r1, ClassProxy, "proxy0", "core", "group_exec", 2)
+	roots := c.Roots()
+	if len(roots) != 2 || roots[0] != r1 || roots[1] != r2 {
+		t.Fatalf("Roots = %v, want [%d %d]", roots, r1, r2)
+	}
+	if got := c.RootsNamed("coll", "ialltoall"); len(got) != 1 || got[0] != r1 {
+		t.Fatalf("RootsNamed(coll,ialltoall) = %v", got)
+	}
+	if got := c.RootsNamed("", "isend"); len(got) != 1 || got[0] != r2 {
+		t.Fatalf("RootsNamed(,isend) = %v", got)
+	}
+	if got := c.RootsNamed("mpi", ""); len(got) != 1 || got[0] != r2 {
+		t.Fatalf("RootsNamed(mpi,) = %v", got)
+	}
+	if got := c.RootsNamed("fabric", ""); got != nil {
+		t.Fatalf("RootsNamed(fabric,) = %v, want nil", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		ClassNone: "none", ClassRank: "rank", ClassProxy: "proxy",
+		ClassHCA: "hca", ClassWire: "wire", Class(99): "none",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}

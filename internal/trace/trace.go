@@ -123,7 +123,11 @@ func (l *Log) Filter(entityPrefix string) []Event {
 //
 //	12.50us  rank0   send-offload   dst=1 64K tag=4
 //	13.20us  proxy0  RTS            from rank0
-func (l *Log) Timeline(w io.Writer) {
+//
+// It returns the first write error encountered (writes stop there), so
+// callers streaming to files or pipes see short writes instead of silently
+// truncated timelines.
+func (l *Log) Timeline(w io.Writer) error {
 	events := l.Events()
 	entW, actW := 6, 6
 	for _, e := range events {
@@ -135,6 +139,9 @@ func (l *Log) Timeline(w io.Writer) {
 		}
 	}
 	for _, e := range events {
-		fmt.Fprintf(w, "%12s  %-*s  %-*s  %s\n", e.At, entW, e.Entity, actW, e.Action, e.Detail)
+		if _, err := fmt.Fprintf(w, "%12s  %-*s  %-*s  %s\n", e.At, entW, e.Entity, actW, e.Action, e.Detail); err != nil {
+			return err
+		}
 	}
+	return nil
 }

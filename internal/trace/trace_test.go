@@ -45,7 +45,9 @@ func TestFilterAndTimeline(t *testing.T) {
 		t.Fatalf("Filter = %d events", len(got))
 	}
 	var sb strings.Builder
-	l.Timeline(&sb)
+	if err := l.Timeline(&sb); err != nil {
+		t.Fatalf("Timeline: %v", err)
+	}
 	out := sb.String()
 	for _, want := range []string{"rank0", "Send_Offload", "proxy0", "FIN"} {
 		if !strings.Contains(out, want) {
@@ -82,6 +84,113 @@ func TestEventsMemoized(t *testing.T) {
 	}
 	if got := l.Filter("e"); len(got) != 3 {
 		t.Fatalf("Filter on cached view = %d events", len(got))
+	}
+}
+
+// Dropped at exact-limit boundaries: filling a ring to precisely its limit
+// evicts nothing; the very next Add evicts exactly one.
+func TestDroppedExactLimitBoundary(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 3; i++ {
+		l.Add(sim.Time(i), "e", "a", "")
+	}
+	if l.Dropped() != 0 || l.Len() != 3 {
+		t.Fatalf("at limit: Dropped=%d Len=%d, want 0/3", l.Dropped(), l.Len())
+	}
+	l.Add(3, "e", "a", "")
+	if l.Dropped() != 1 || l.Len() != 3 {
+		t.Fatalf("one past limit: Dropped=%d Len=%d, want 1/3", l.Dropped(), l.Len())
+	}
+	l.Add(4, "e", "a", "")
+	if l.Dropped() != 2 {
+		t.Fatalf("two past limit: Dropped=%d, want 2", l.Dropped())
+	}
+	// Unbounded and limit-1 edge cases.
+	u := New(0)
+	for i := 0; i < 100; i++ {
+		u.Add(sim.Time(i), "e", "a", "")
+	}
+	if u.Dropped() != 0 || u.Len() != 100 {
+		t.Fatalf("unbounded: Dropped=%d Len=%d", u.Dropped(), u.Len())
+	}
+	one := New(1)
+	one.Add(1, "e", "first", "")
+	one.Add(2, "e", "second", "")
+	if one.Dropped() != 1 || one.Len() != 1 || one.Events()[0].Action != "second" {
+		t.Fatalf("limit-1 ring: Dropped=%d Len=%d ev=%+v", one.Dropped(), one.Len(), one.Events())
+	}
+}
+
+// Ring wraparound: after eviction the sorted view contains exactly the
+// surviving tail, correctly ordered even though the backing array's ring
+// head has rotated — and an Add after a read rebuilds, never mutating the
+// previously returned slice.
+func TestRingWraparoundView(t *testing.T) {
+	l := New(4)
+	// Insert out of order so sorting does real work: 8,7,...,1.
+	for i := 8; i >= 1; i-- {
+		l.Add(sim.Time(i), "e", "a", "")
+	}
+	ev := l.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len = %d, want 4", len(ev))
+	}
+	// Survivors are the last four inserts: times 4,3,2,1 -> sorted 1..4.
+	for i, want := range []sim.Time{1, 2, 3, 4} {
+		if ev[i].At != want {
+			t.Fatalf("ev[%d].At = %d, want %d (view %+v)", i, ev[i].At, want, ev)
+		}
+	}
+	// Snapshot the old view, Add once more, and re-read: the ring evicts by
+	// insertion order, so the oldest surviving insert (time 4) goes; the old
+	// slice must be untouched and the new view must reflect the eviction.
+	old := make([]Event, len(ev))
+	copy(old, ev)
+	l.Add(9, "e", "late", "")
+	ev2 := l.Events()
+	for i := range old {
+		if ev[i] != old[i] {
+			t.Fatalf("Add mutated previously returned view at %d", i)
+		}
+	}
+	want2 := []sim.Time{1, 2, 3, 9}
+	for i, want := range want2 {
+		if ev2[i].At != want {
+			t.Fatalf("post-evict ev[%d].At = %d, want %d", i, ev2[i].At, want)
+		}
+	}
+	if l.Dropped() != 5 {
+		t.Fatalf("Dropped = %d, want 5", l.Dropped())
+	}
+}
+
+// failWriter errors after n successful writes.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errShort
+	}
+	f.n--
+	return len(p), nil
+}
+
+var errShort = &shortErr{}
+
+type shortErr struct{}
+
+func (*shortErr) Error() string { return "short write" }
+
+// Timeline propagates the first write error instead of silently truncating.
+func TestTimelineWriteError(t *testing.T) {
+	l := New(0)
+	l.Add(1, "rank0", "a", "")
+	l.Add(2, "rank1", "b", "")
+	if err := l.Timeline(&failWriter{n: 1}); err != errShort {
+		t.Fatalf("Timeline error = %v, want %v", err, errShort)
+	}
+	if err := l.Timeline(&strings.Builder{}); err != nil {
+		t.Fatalf("Timeline on good writer: %v", err)
 	}
 }
 

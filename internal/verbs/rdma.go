@@ -6,6 +6,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/span"
 )
 
 // WriteOp describes one RDMA-write work request.
@@ -30,6 +31,9 @@ type WriteOp struct {
 	// operation's retry budget; the op will never complete. Nil leaves the
 	// failure counted in fault.Stats and traced only.
 	OnError func(at sim.Time)
+
+	// Span is the causal parent for the op's "rdma_write" span (0 = none).
+	Span span.ID
 }
 
 // PostWrite posts an RDMA write on behalf of p through c's endpoint.
@@ -49,6 +53,13 @@ func (c *Ctx) PostWrite(p *sim.Proc, op WriteOp) error {
 	if err != nil {
 		return err
 	}
+	k := c.reg.f.Kernel()
+	var ws span.ID
+	if c.reg.sp.Enabled() {
+		// Op span: from posting (before the WR cost) to remote completion.
+		ws = c.reg.sp.StartAt(op.Span, span.ClassHCA, c.name, "verbs", "rdma_write", k.Now())
+		c.reg.sp.AttrInt(ws, "size", int64(op.Size))
+	}
 	p.AdvanceBusy(c.reg.costs.PostWR)
 
 	var payload []byte
@@ -56,31 +67,42 @@ func (c *Ctx) PostWrite(p *sim.Proc, op WriteOp) error {
 		payload = make([]byte, op.Size)
 		copy(payload, d)
 	}
-	k := c.reg.f.Kernel()
 	dstCtx := dst.ctx
 	if c.reg.inj == nil {
-		txDone, _ := c.reg.f.Transfer(c.ep, dstCtx.ep, op.Size+c.reg.costs.RDMAHdr, func() {
+		txDone, _ := c.reg.f.TransferCtx(c.ep, dstCtx.ep, op.Size+c.reg.costs.RDMAHdr, func() {
 			dst.space.WriteAt(op.RemoteAddr, payload, op.Size)
+			c.reg.sp.EndAt(ws, k.Now())
 			if op.Notify != nil {
 				dstCtx.deliver(op.Notify)
 			}
 			if op.OnRemoteComplete != nil {
 				op.OnRemoteComplete(k.Now())
 			}
-		})
+		}, ws)
 		if op.OnLocalComplete != nil {
 			k.At(txDone-k.Now(), func() { op.OnLocalComplete(k.Now()) })
 		}
 		return nil
 	}
-	c.writeAttempt(op, dst, dstCtx, payload, 1)
+	if ws != 0 {
+		// Close the op span even if the retry budget is exhausted.
+		orig := op.OnError
+		op.OnError = func(at sim.Time) {
+			c.reg.sp.AttrStr(ws, "error", "retry_exhausted")
+			c.reg.sp.EndAt(ws, at)
+			if orig != nil {
+				orig(at)
+			}
+		}
+	}
+	c.writeAttempt(op, dst, dstCtx, payload, 1, ws)
 	return nil
 }
 
 // writeAttempt performs one try of a (possibly retransmitted) RDMA write.
 // It may run in process context (first attempt, from PostWrite) or handler
 // context (retransmissions); it consumes no CPU time itself.
-func (c *Ctx) writeAttempt(op WriteOp, dst *MR, dstCtx *Ctx, payload []byte, attempt int) {
+func (c *Ctx) writeAttempt(op WriteOp, dst *MR, dstCtx *Ctx, payload []byte, attempt int, ws span.ID) {
 	k := c.reg.f.Kernel()
 	inj := c.reg.inj
 	if inj.CQError() {
@@ -88,23 +110,24 @@ func (c *Ctx) writeAttempt(op WriteOp, dst *MR, dstCtx *Ctx, payload []byte, att
 		c.reg.mErrorCQEs.Inc()
 		inj.Note(k.Now(), c.name, "cq-error", fmt.Sprintf("write size=%d attempt=%d", op.Size, attempt))
 		c.retryOrFail("write", op.Size, attempt, k.Now(),
-			func() { c.writeAttempt(op, dst, dstCtx, payload, attempt+1) },
+			func() { c.writeAttempt(op, dst, dstCtx, payload, attempt+1, ws) },
 			op.OnError)
 		return
 	}
-	txDone, _, _, fate := c.reg.f.TransferFated(c.ep, dstCtx.ep, op.Size+c.reg.costs.RDMAHdr, func() {
+	txDone, _, _, fate := c.reg.f.TransferFatedCtx(c.ep, dstCtx.ep, op.Size+c.reg.costs.RDMAHdr, func() {
 		dst.space.WriteAt(op.RemoteAddr, payload, op.Size)
+		c.reg.sp.EndAt(ws, k.Now())
 		if op.Notify != nil {
 			dstCtx.deliver(op.Notify)
 		}
 		if op.OnRemoteComplete != nil {
 			op.OnRemoteComplete(k.Now())
 		}
-	})
+	}, ws)
 	if fate == fault.FateDrop || fate == fault.FateCorrupt {
 		// The transport timer will fire after the injection completed.
 		c.retryOrFail("write", op.Size, attempt, txDone,
-			func() { c.writeAttempt(op, dst, dstCtx, payload, attempt+1) },
+			func() { c.writeAttempt(op, dst, dstCtx, payload, attempt+1, ws) },
 			op.OnError)
 		return
 	}
@@ -148,6 +171,9 @@ type ReadOp struct {
 	OnComplete func(at sim.Time)
 	// OnError fires if fault injection exhausts the retry budget.
 	OnError func(at sim.Time)
+
+	// Span is the causal parent for the op's "rdma_read" span (0 = none).
+	Span span.ID
 }
 
 // PostRead posts an RDMA read: a small request travels to the remote
@@ -162,65 +188,82 @@ func (c *Ctx) PostRead(p *sim.Proc, op ReadOp) error {
 	if err != nil {
 		return err
 	}
+	k := c.reg.f.Kernel()
+	var rs span.ID
+	if c.reg.sp.Enabled() {
+		rs = c.reg.sp.StartAt(op.Span, span.ClassHCA, c.name, "verbs", "rdma_read", k.Now())
+		c.reg.sp.AttrInt(rs, "size", int64(op.Size))
+	}
 	p.AdvanceBusy(c.reg.costs.PostWR)
 
-	k := c.reg.f.Kernel()
 	srcCtx := src.ctx
 	if c.reg.inj == nil {
 		// Request packet to the remote HCA.
-		c.reg.f.Transfer(c.ep, srcCtx.ep, c.reg.costs.ReadReqLen, func() {
+		c.reg.f.TransferCtx(c.ep, srcCtx.ep, c.reg.costs.ReadReqLen, func() {
 			// Remote HCA responds autonomously with the data.
 			var payload []byte
 			if d := src.space.ReadAt(op.RemoteAddr, op.Size); d != nil {
 				payload = make([]byte, op.Size)
 				copy(payload, d)
 			}
-			c.reg.f.Transfer(srcCtx.ep, c.ep, op.Size+c.reg.costs.RDMAHdr, func() {
+			c.reg.f.TransferCtx(srcCtx.ep, c.ep, op.Size+c.reg.costs.RDMAHdr, func() {
 				dst.space.WriteAt(op.LocalAddr, payload, op.Size)
+				c.reg.sp.EndAt(rs, k.Now())
 				if op.OnComplete != nil {
 					op.OnComplete(k.Now())
 				}
-			})
-		})
+			}, rs)
+		}, rs)
 		return nil
 	}
-	c.readAttempt(op, dst, src, srcCtx, 1)
+	if rs != 0 {
+		orig := op.OnError
+		op.OnError = func(at sim.Time) {
+			c.reg.sp.AttrStr(rs, "error", "retry_exhausted")
+			c.reg.sp.EndAt(rs, at)
+			if orig != nil {
+				orig(at)
+			}
+		}
+	}
+	c.readAttempt(op, dst, src, srcCtx, 1, rs)
 	return nil
 }
 
 // readAttempt performs one try of a (possibly retransmitted) RDMA read.
-func (c *Ctx) readAttempt(op ReadOp, dst, src *MR, srcCtx *Ctx, attempt int) {
+func (c *Ctx) readAttempt(op ReadOp, dst, src *MR, srcCtx *Ctx, attempt int, rs span.ID) {
 	k := c.reg.f.Kernel()
 	inj := c.reg.inj
 	if inj.CQError() {
 		c.reg.mErrorCQEs.Inc()
 		inj.Note(k.Now(), c.name, "cq-error", fmt.Sprintf("read size=%d attempt=%d", op.Size, attempt))
 		c.retryOrFail("read", op.Size, attempt, k.Now(),
-			func() { c.readAttempt(op, dst, src, srcCtx, attempt+1) },
+			func() { c.readAttempt(op, dst, src, srcCtx, attempt+1, rs) },
 			op.OnError)
 		return
 	}
-	reqTx, _, _, reqFate := c.reg.f.TransferFated(c.ep, srcCtx.ep, c.reg.costs.ReadReqLen, func() {
+	reqTx, _, _, reqFate := c.reg.f.TransferFatedCtx(c.ep, srcCtx.ep, c.reg.costs.ReadReqLen, func() {
 		var payload []byte
 		if d := src.space.ReadAt(op.RemoteAddr, op.Size); d != nil {
 			payload = make([]byte, op.Size)
 			copy(payload, d)
 		}
-		respTx, _, _, respFate := c.reg.f.TransferFated(srcCtx.ep, c.ep, op.Size+c.reg.costs.RDMAHdr, func() {
+		respTx, _, _, respFate := c.reg.f.TransferFatedCtx(srcCtx.ep, c.ep, op.Size+c.reg.costs.RDMAHdr, func() {
 			dst.space.WriteAt(op.LocalAddr, payload, op.Size)
+			c.reg.sp.EndAt(rs, k.Now())
 			if op.OnComplete != nil {
 				op.OnComplete(k.Now())
 			}
-		})
+		}, rs)
 		if respFate == fault.FateDrop || respFate == fault.FateCorrupt {
 			c.retryOrFail("read-resp", op.Size, attempt, respTx,
-				func() { c.readAttempt(op, dst, src, srcCtx, attempt+1) },
+				func() { c.readAttempt(op, dst, src, srcCtx, attempt+1, rs) },
 				op.OnError)
 		}
-	})
+	}, rs)
 	if reqFate == fault.FateDrop || reqFate == fault.FateCorrupt {
 		c.retryOrFail("read-req", op.Size, attempt, reqTx,
-			func() { c.readAttempt(op, dst, src, srcCtx, attempt+1) },
+			func() { c.readAttempt(op, dst, src, srcCtx, attempt+1, rs) },
 			op.OnError)
 	}
 }
@@ -234,6 +277,11 @@ type Packet struct {
 	Size    int
 	Payload interface{}
 	Data    []byte // optional eager payload bytes
+
+	// Span is the causal parent for the packet's fabric flight (0 = none).
+	// Control packets don't get a verbs-layer span of their own — the
+	// injection + wire spans attach directly to this parent.
+	Span span.ID
 }
 
 // PostSend transmits a control packet to dst's inbox. The receiving process
@@ -245,7 +293,7 @@ func (c *Ctx) PostSend(p *sim.Proc, dst *Ctx, pkt *Packet) {
 	pkt.From = c
 	p.AdvanceBusy(c.reg.costs.PostWR)
 	if c.reg.inj == nil {
-		c.reg.f.Transfer(c.ep, dst.ep, pkt.Size, func() { dst.deliver(pkt) })
+		c.reg.f.TransferCtx(c.ep, dst.ep, pkt.Size, func() { dst.deliver(pkt) }, pkt.Span)
 		return
 	}
 	c.sendAttempt(dst, pkt, 1)
@@ -262,7 +310,7 @@ func (c *Ctx) sendAttempt(dst *Ctx, pkt *Packet, attempt int) {
 			func() { c.sendAttempt(dst, pkt, attempt+1) }, nil)
 		return
 	}
-	txDone, _, _, fate := c.reg.f.TransferFated(c.ep, dst.ep, pkt.Size, func() { dst.deliver(pkt) })
+	txDone, _, _, fate := c.reg.f.TransferFatedCtx(c.ep, dst.ep, pkt.Size, func() { dst.deliver(pkt) }, pkt.Span)
 	if fate == fault.FateDrop || fate == fault.FateCorrupt {
 		c.retryOrFail("send", pkt.Size, attempt, txDone,
 			func() { c.sendAttempt(dst, pkt, attempt+1) }, nil)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/span"
 )
 
 // Key is an lkey/rkey handle returned by registration.
@@ -63,6 +64,7 @@ type Registry struct {
 	nextKey Key
 	mrs     map[Key]*MR
 	inj     *fault.Injector // nil = no fault injection
+	sp      *span.Collector // nil = no span tracing
 
 	// Stats
 	Registrations int64
@@ -108,6 +110,16 @@ func (r *Registry) SetMetrics(m *metrics.Registry) {
 	r.mErrorCQEs = m.Counter("verbs", "all", "error_cqes")
 	r.mRegLatency = m.Histogram("verbs", "all", "reg_latency_ns")
 }
+
+// SetSpans attaches a span collector; nil disables tracing. Registration
+// and RDMA operations posted with a parent span (the *Ctx variants, or the
+// Span field on WriteOp/ReadOp/Packet) then record verbs-layer spans
+// parenting the fabric flights they cause. Span collection never consumes
+// virtual time.
+func (r *Registry) SetSpans(c *span.Collector) { r.sp = c }
+
+// Spans returns the attached span collector (nil when tracing is off).
+func (r *Registry) Spans() *span.Collector { return r.sp }
 
 // Ctx is a per-process verbs context: the process's protection domain,
 // address space, and the endpoint its work requests are injected through.
@@ -176,8 +188,21 @@ var (
 // registration attempt may fail (pinning pressure); each failed attempt
 // pays the full cost and is retried until it succeeds.
 func (c *Ctx) RegisterMR(p *sim.Proc, addr mem.Addr, size int) *MR {
+	return c.RegisterMRCtx(p, addr, size, 0)
+}
+
+// RegisterMRCtx is RegisterMR carrying span context: when a collector is
+// attached, the registration (including failed fault-injected attempts) is
+// recorded as a "reg_mr" span under parent. Timing is identical to
+// RegisterMR.
+func (c *Ctx) RegisterMRCtx(p *sim.Proc, addr mem.Addr, size int, parent span.ID) *MR {
 	cost := c.reg.costs.RegCost(size)
 	start := p.Now()
+	var rs span.ID
+	if c.reg.sp.Enabled() {
+		rs = c.reg.sp.StartAt(parent, span.ClassHCA, c.name, "verbs", "reg_mr", start)
+		c.reg.sp.AttrInt(rs, "size", int64(size))
+	}
 	for c.reg.inj.RegFail() {
 		c.reg.Registrations++
 		c.reg.RegTime += cost
@@ -189,6 +214,7 @@ func (c *Ctx) RegisterMR(p *sim.Proc, addr mem.Addr, size int) *MR {
 	c.reg.RegTime += cost
 	p.AdvanceBusy(cost)
 	c.reg.mRegLatency.Observe(p.Now() - start)
+	c.reg.sp.EndAt(rs, p.Now())
 	return c.reg.insertMR(c, c.space, addr, size)
 }
 
