@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-snapshot snapshot-check
+.PHONY: all build test vet race check bench bench-snapshot snapshot-check bench-smoke wallclock
 
 all: build
 
@@ -23,7 +23,7 @@ race:
 check: vet build race snapshot-check
 
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ ./internal/bench/
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . ./internal/bench/ ./internal/sim/
 
 # Regenerate the checked-in perf baseline after an intentional timing change.
 bench-snapshot:
@@ -33,3 +33,17 @@ bench-snapshot:
 # Validate the checked-in baseline's schema and pinned timings.
 snapshot-check:
 	$(GO) test -run 'TestCheckedInBenchSnapshotValid|TestFig13SnapshotMatchesPinnedGuards' ./internal/bench/
+
+# Perf smoke: allocation budgets on the event core hot paths, the
+# serial-vs-parallel determinism guard, and a byte-level diff of a
+# parallel-runner snapshot against the checked-in baseline.
+bench-smoke:
+	$(GO) test -run 'AllocFree|TestSweepSerialParallelIdentical|TestCheckedInWallclockValid' -v ./internal/sim/ ./internal/trace/ ./internal/bench/
+	$(GO) run ./cmd/offloadbench bench-snapshot -parallel 4 -o .bench_fig13.parallel.json
+	cmp BENCH_fig13.json .bench_fig13.parallel.json
+	rm -f .bench_fig13.parallel.json
+
+# Re-record the wall-clock baseline (serial vs parallel fig13 sweep) on
+# this host. Host-dependent: commit only from a representative machine.
+wallclock:
+	$(GO) run ./cmd/offloadbench wallclock -o BENCH_wallclock.json

@@ -186,12 +186,14 @@ func BenchmarkAblationProxies(b *testing.B) {
 
 func BenchmarkSimKernelEventThroughput(b *testing.B) {
 	k := newBusyKernel(b.N)
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
 }
 
 func BenchmarkSimProcContextSwitch(b *testing.B) {
 	k := newPingPongProcs(b.N)
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
 }

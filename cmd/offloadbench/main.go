@@ -16,9 +16,13 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
@@ -47,10 +51,46 @@ func main() {
 		size   = fs.Int("size", 32<<10, "chaos message size in bytes")
 		mout   = fs.String("metrics", "", "write a metrics snapshot after the run: JSON to <path>, Prometheus text to <path>.prom")
 		sout   = fs.String("spans", "", "write the run's span trace: Chrome trace JSON to <path>, folded stacks to <path>.folded, JSONL to <path>.jsonl")
-		outp   = fs.String("o", "BENCH_fig13.json", "output path for bench-snapshot")
+		outp   = fs.String("o", "", "output path (bench-snapshot: BENCH_fig13.json, wallclock: BENCH_wallclock.json)")
+		par    = fs.Int("parallel", 1, "sweep worker count (0 = all CPUs, 1 = serial); results are identical at any value")
+		cprof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to <path>")
+		mprof  = fs.String("memprofile", "", "write a pprof heap profile after the run to <path>")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+
+	workers := *par
+	if workers <= 0 {
+		workers = bench.DefaultParallelism()
+	}
+	bench.Parallelism = workers
+
+	if *cprof != "" {
+		f, err := os.Create(*cprof)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *mprof != "" {
+		defer func() {
+			f, err := os.Create(*mprof)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
 	}
 
 	p := params{ppn: *ppn, iters: *iters, warmup: *warmup, full: *full, memGB: *memGB, nb: *nb,
@@ -58,11 +98,15 @@ func main() {
 	out := os.Stdout
 
 	if fig == "bench-snapshot" {
+		path := *outp
+		if path == "" {
+			path = "BENCH_fig13.json"
+		}
 		snap := bench.Fig13Snapshot()
 		if err := snap.Validate(); err != nil {
 			fatal(err)
 		}
-		f, err := os.Create(*outp)
+		f, err := os.Create(path)
 		if err != nil {
 			fatal(err)
 		}
@@ -73,7 +117,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(out, "wrote %s (%d series, %d counter series)\n",
-			*outp, len(snap.Series), len(snap.Metrics.Counters))
+			path, len(snap.Series), len(snap.Metrics.Counters))
+		return
+	}
+
+	if fig == "wallclock" {
+		path := *outp
+		if path == "" {
+			path = "BENCH_wallclock.json"
+		}
+		if *par == 1 {
+			// A serial-vs-serial comparison proves nothing; default the
+			// parallel arm to the acceptance configuration.
+			workers = 4
+		}
+		runWallclock(out, p, path, workers)
 		return
 	}
 
@@ -174,6 +232,59 @@ func main() {
 		fmt.Fprintf(out, "spans: %s, %s.folded, %s.jsonl (%d spans, %d dropped)\n",
 			*sout, *sout, *sout, sc.Len(), sc.Dropped())
 	}
+}
+
+// runWallclock times the fig13 figure sweep serially and with the parallel
+// runner, verifies the two rendered outputs byte-identical (determinism is
+// the hard requirement), and records the wall-clock baseline.
+func runWallclock(out *os.File, p params, path string, workers int) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		t13s, t14s := figures.Fig13And14([]int{4, 8, 16}, p.a2aPPN(), p.a2aSizes(), p.warmup, p.it(2))
+		for _, t := range t13s {
+			t.Fprint(&buf)
+		}
+		for _, t := range t14s {
+			t.Fprint(&buf)
+		}
+		return buf.Bytes()
+	}
+
+	bench.Parallelism = 1
+	t0 := time.Now()
+	serialOut := render()
+	serialNS := time.Since(t0).Nanoseconds()
+
+	bench.Parallelism = workers
+	t0 = time.Now()
+	parOut := render()
+	parNS := time.Since(t0).Nanoseconds()
+
+	snap := bench.WallclockSnapshot{
+		Schema:     bench.WallclockSchema,
+		Figure:     "fig13",
+		Cores:      runtime.NumCPU(),
+		Parallel:   workers,
+		SerialNS:   serialNS,
+		ParallelNS: parNS,
+		Speedup:    float64(serialNS) / float64(parNS),
+		Identical:  bytes.Equal(serialOut, parOut),
+	}
+	if err := snap.Validate(); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := bench.WriteWallclock(f, snap); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(out, "wrote %s: serial %s, parallel(%d) %s, speedup %.2fx on %d cores, outputs identical=%v\n",
+		path, time.Duration(serialNS), workers, time.Duration(parNS), snap.Speedup, snap.Cores, snap.Identical)
 }
 
 // criticalPath runs the fig13 Ialltoall loop plus a chaos run with span
@@ -393,11 +504,15 @@ figures:
   chaos    Ialltoall under fault injection (rates 0, 1e-4, 1e-3, 1e-2)
   all      everything above
   bench-snapshot  regenerate the BENCH_fig13.json perf baseline (-o path)
+  wallclock       time the fig13 sweep serial vs parallel, verify the outputs
+                  byte-identical, and write the BENCH_wallclock.json baseline
   critical-path   span-based critical path + latency attribution for the
                   fig13 Ialltoall loop and a chaos run (-ppn, -size, -seed)
 
 flags: -ppn N -iters N -warmup N -full -memgb N -nb N -seed N -size N
+       -parallel N (sweep workers; 0 = all CPUs, 1 = serial; output identical at any value)
        -metrics PATH (export run metrics: JSON to PATH, Prometheus to PATH.prom)
        -spans PATH (export span trace: Chrome JSON to PATH, plus PATH.folded, PATH.jsonl)
-       -o PATH (bench-snapshot output, default BENCH_fig13.json)`)
+       -cpuprofile PATH / -memprofile PATH (pprof capture of the run)
+       -o PATH (bench-snapshot / wallclock output)`)
 }

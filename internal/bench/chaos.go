@@ -161,15 +161,17 @@ func MeasureChaosIalltoall(opt Options, fcfg *fault.Config, rate float64, msgSiz
 // attaches a real (but silent) injector, exercising the rate-zero fast
 // paths; every nonzero rate uses fault.Scaled(seed, rate).
 func ChaosSweep(opt Options, seed int64, rates []float64, msgSize, warmup, iters int) []ChaosResult {
-	out := make([]ChaosResult, 0, len(rates))
-	for _, rate := range rates {
-		o := opt
+	out := make([]ChaosResult, len(rates))
+	Sweep(len(rates), func(i int, env SweepEnv) {
+		o := env.Attach(opt)
 		if opt.Cluster != nil {
+			// MeasureChaosIalltoall writes the fault plan into the cluster
+			// config; give each rate its own copy.
 			ccfg := *opt.Cluster
 			o.Cluster = &ccfg
 		}
-		out = append(out, MeasureChaosIalltoall(o, fault.Scaled(seed, rate), rate, msgSize, warmup, iters))
-	}
+		out[i] = MeasureChaosIalltoall(o, fault.Scaled(seed, rates[i]), rates[i], msgSize, warmup, iters)
+	})
 	return out
 }
 

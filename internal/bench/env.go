@@ -143,5 +143,9 @@ func (e *Env) Launch(fn func(r *mpi.Rank, ops coll.Ops, p2p coll.P2P)) sim.Time 
 		e.Fw.Stop()
 		e.Cl.K.Run()
 	}
+	// Unwind any goroutine still parked on the kernel (daemons whose final
+	// wakeup never came); without this every retired environment leaks its
+	// blocked process goroutines for the life of the OS process.
+	e.Cl.K.Shutdown()
 	return end
 }

@@ -43,16 +43,22 @@ func newMicroRig() *microRig {
 
 // MeasureRDMALatency reproduces Figure 2: one-way RDMA-write latency when
 // the writer is a host process versus a DPU (ARM) process. The latency is
-// measured as half of a write-write pingpong.
+// measured as half of a write-write pingpong. Each (size, writer) sample is
+// an independent rig, so the sweep parallelizes; samples write disjoint
+// fields of their pre-sized row.
 func MeasureRDMALatency(sizes []int, iters int) []LatencyRow {
-	rows := make([]LatencyRow, 0, len(sizes))
-	for _, size := range sizes {
-		rows = append(rows, LatencyRow{
-			Size:     size,
-			HostHost: pingpongHalf(size, iters, false),
-			HostDPU:  pingpongHalf(size, iters, true),
-		})
+	rows := make([]LatencyRow, len(sizes))
+	for i, size := range sizes {
+		rows[i].Size = size
 	}
+	Sweep(2*len(sizes), func(j int, _ SweepEnv) {
+		i := j / 2
+		if j%2 == 0 {
+			rows[i].HostHost = pingpongHalf(rows[i].Size, iters, false)
+		} else {
+			rows[i].HostDPU = pingpongHalf(rows[i].Size, iters, true)
+		}
+	})
 	return rows
 }
 
@@ -114,6 +120,7 @@ func pingpongHalf(size, iters int, writerOnDPU bool) sim.Time {
 		half = (p.Now() - t0) / sim.Time(2*iters)
 	})
 	cl.K.Run()
+	cl.K.Shutdown()
 	return half
 }
 
@@ -121,13 +128,20 @@ func pingpongHalf(size, iters int, writerOnDPU bool) sim.Time {
 // with a window of outstanding writes, for a host writer versus a DPU
 // writer, normalized to the host writer.
 func MeasureRDMABandwidth(sizes []int, window, iters int) []BandwidthRow {
-	rows := make([]BandwidthRow, 0, len(sizes))
-	for _, size := range sizes {
-		hh := streamBW(size, window, iters, false)
-		hd := streamBW(size, window, iters, true)
-		rows = append(rows, BandwidthRow{
-			Size: size, HostHost: hh, HostDPU: hd, Normalized: hd / hh,
-		})
+	rows := make([]BandwidthRow, len(sizes))
+	for i, size := range sizes {
+		rows[i].Size = size
+	}
+	Sweep(2*len(sizes), func(j int, _ SweepEnv) {
+		i := j / 2
+		if j%2 == 0 {
+			rows[i].HostHost = streamBW(rows[i].Size, window, iters, false)
+		} else {
+			rows[i].HostDPU = streamBW(rows[i].Size, window, iters, true)
+		}
+	})
+	for i := range rows {
+		rows[i].Normalized = rows[i].HostDPU / rows[i].HostHost
 	}
 	return rows
 }
@@ -170,6 +184,7 @@ func streamBW(size, window, iters int, writerOnDPU bool) float64 {
 		bw = float64(total*size) / float64(elapsed) // bytes per ns == GB/s
 	})
 	cl.K.Run()
+	cl.K.Shutdown()
 	return bw
 }
 
@@ -203,6 +218,7 @@ func MeasureRegistration(sizes []int) []RegistrationRow {
 		}
 	})
 	cl.K.Run()
+	cl.K.Shutdown()
 	return rows
 }
 

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/span"
+)
+
+// withParallelism runs fn with the package-level worker count overridden,
+// restoring the previous value (tests share the global like offloadbench
+// does).
+func withParallelism(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := Parallelism
+	Parallelism = n
+	defer func() { Parallelism = prev }()
+	fn()
+}
+
+// The determinism contract of the sweep runner: the same sweep must produce
+// identical results and an identical merged metrics snapshot at any worker
+// count. Jobs here run real simulations (one kernel per job), the exact
+// shape the figure sweeps use.
+func TestSweepSerialParallelIdentical(t *testing.T) {
+	sizes := []int{1 << 10, 8 << 10, 64 << 10}
+	run := func(workers int) ([]NBCResult, metrics.Snapshot) {
+		met := metrics.NewRegistry()
+		res := make([]NBCResult, len(sizes))
+		withParallelism(t, workers, func() {
+			SweepInto(met, len(sizes), func(i int, env SweepEnv) {
+				opt := env.Attach(guardOpt())
+				res[i] = MeasureIalltoall(opt, sizes[i], 1, 2)
+			})
+		})
+		return res, met.Snapshot()
+	}
+
+	serialRes, serialMet := run(1)
+	parallelRes, parallelMet := run(4)
+
+	if !reflect.DeepEqual(serialRes, parallelRes) {
+		t.Fatalf("results diverge between serial and parallel sweeps:\nserial:   %+v\nparallel: %+v",
+			serialRes, parallelRes)
+	}
+	if !reflect.DeepEqual(serialMet, parallelMet) {
+		t.Fatal("merged metrics snapshot diverges between serial and parallel sweeps")
+	}
+}
+
+// Results land at their sweep index regardless of completion order, and
+// every job runs exactly once.
+func TestSweepIndexOrdering(t *testing.T) {
+	const n = 100
+	out := make([]int, n)
+	withParallelism(t, 8, func() {
+		Sweep(n, func(i int, _ SweepEnv) { out[i] = i + 1 })
+	})
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+// A panicking job must surface after the sweep drains, not crash a worker
+// goroutine (which would abort the whole test binary).
+func TestSweepPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sweep swallowed the job panic")
+		}
+	}()
+	withParallelism(t, 4, func() {
+		Sweep(8, func(i int, _ SweepEnv) {
+			if i == 5 {
+				panic("job failure")
+			}
+		})
+	})
+}
+
+// Span collection assigns IDs sequentially, so a sweep with a live span
+// collector must fall back to serial execution rather than race on it.
+func TestSweepWithSpansStaysSerial(t *testing.T) {
+	prev := DefaultSpans
+	DefaultSpans = span.New(0)
+	defer func() { DefaultSpans = prev }()
+	// The guard tests in spans_guard_test.go pin span determinism; here it is
+	// enough that the sweep under a collector still visits every index once.
+	seen := make([]bool, 16)
+	withParallelism(t, 4, func() {
+		Sweep(len(seen), func(i int, _ SweepEnv) { seen[i] = true })
+	})
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("job %d never ran", i)
+		}
+	}
+}
+
+// The checked-in wall-clock baseline must parse and validate, and must
+// record byte-identical serial/parallel outputs for the fig13 sweep.
+func TestCheckedInWallclockValid(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_wallclock.json")
+	if err != nil {
+		t.Fatalf("missing wall-clock baseline (run `offloadbench wallclock`): %v", err)
+	}
+	s, err := ParseWallclock(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Figure != "fig13" {
+		t.Fatalf("baseline times %q, want fig13", s.Figure)
+	}
+	if !s.Identical {
+		t.Fatal("baseline recorded non-identical serial/parallel outputs")
+	}
+}
+
+// Wallclock validation rejects the failure modes the baseline guards
+// against: schema drift, divergent outputs, and a missing speedup on a
+// multi-core recording host.
+func TestWallclockValidateRejects(t *testing.T) {
+	good := WallclockSnapshot{
+		Schema: WallclockSchema, Figure: "fig13", Cores: 8, Parallel: 4,
+		SerialNS: 4e9, ParallelNS: 1e9, Speedup: 4.0, Identical: true,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	cases := map[string]func(*WallclockSnapshot){
+		"schema":         func(s *WallclockSnapshot) { s.Schema = "offload-wallclock/v0" },
+		"figure":         func(s *WallclockSnapshot) { s.Figure = "" },
+		"not identical":  func(s *WallclockSnapshot) { s.Identical = false },
+		"speedup floor":  func(s *WallclockSnapshot) { s.ParallelNS = 3e9; s.Speedup = 4.0 / 3.0 },
+		"inconsistent":   func(s *WallclockSnapshot) { s.Speedup = 2.0 },
+		"bad timings":    func(s *WallclockSnapshot) { s.SerialNS = 0 },
+		"bad core count": func(s *WallclockSnapshot) { s.Cores = 0 },
+	}
+	for name, mutate := range cases {
+		s := good
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: corrupted snapshot validated", name)
+		}
+	}
+	// A 1-core recording is exempt from the speedup floor: no speedup is
+	// physically possible there, identical outputs are the requirement.
+	oneCore := good
+	oneCore.Cores = 1
+	oneCore.ParallelNS = 5e9
+	oneCore.Speedup = 0.8
+	if err := oneCore.Validate(); err != nil {
+		t.Errorf("1-core sub-1x recording rejected: %v", err)
+	}
+}

@@ -68,19 +68,22 @@ func Fig13Snapshot() BenchSnapshot {
 		Config: BenchConfig{Nodes: 2, PPN: 4, Warmup: warmup, Iters: iters,
 			Scheme: baseline.NameProposed},
 	}
-	for _, pt := range fig13SnapshotPoints {
-		opt := Options{Nodes: 2, PPN: 4, Scheme: baseline.NameProposed,
-			Backed: pt.backed, Metrics: met}
+	series := make([]BenchPoint, len(fig13SnapshotPoints))
+	SweepInto(met, len(fig13SnapshotPoints), func(i int, env SweepEnv) {
+		pt := fig13SnapshotPoints[i]
+		opt := env.Attach(Options{Nodes: 2, PPN: 4, Scheme: baseline.NameProposed,
+			Backed: pt.backed})
 		r := MeasureIalltoall(opt, pt.size, warmup, iters)
-		s.Series = append(s.Series, BenchPoint{
+		series[i] = BenchPoint{
 			Size:       pt.size,
 			Backed:     pt.backed,
 			PureNS:     int64(r.PureComm),
 			ComputeNS:  int64(r.Compute),
 			OverallNS:  int64(r.Overall),
 			OverlapPct: r.Overlap,
-		})
-	}
+		}
+	})
+	s.Series = series
 	s.Metrics = met.Snapshot()
 	return s
 }

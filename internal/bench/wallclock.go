@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WallclockSchema is the schema tag of the wall-clock baseline file
+// (BENCH_wallclock.json); bump it when the layout changes incompatibly.
+const WallclockSchema = "offload-wallclock/v1"
+
+// WallclockSnapshot is the checked-in wall-clock baseline: how long the
+// reference sweep took serially and with the parallel runner on the machine
+// that produced it. Unlike the virtual timings of BENCH_fig13.json these
+// numbers are host-dependent, so the file records the core count and
+// validation scales its expectations: on a multi-core box (>= 4 cores) the
+// parallel run must be at least 2x faster, while a single-core recording
+// only has to prove the outputs stayed byte-identical.
+type WallclockSnapshot struct {
+	Schema     string  `json:"schema"`
+	Figure     string  `json:"figure"`      // the sweep that was timed
+	Cores      int     `json:"cores"`       // runtime.NumCPU() on the recording host
+	Parallel   int     `json:"parallel"`    // worker count of the parallel run
+	SerialNS   int64   `json:"serial_ns"`   // wall-clock of the serial run
+	ParallelNS int64   `json:"parallel_ns"` // wall-clock of the parallel run
+	Speedup    float64 `json:"speedup"`     // SerialNS / ParallelNS
+	Identical  bool    `json:"identical"`   // serial and parallel outputs matched byte for byte
+}
+
+// MinParallelSpeedup is the speedup the parallel runner must deliver on a
+// host with at least MinSpeedupCores cores.
+const (
+	MinParallelSpeedup = 2.0
+	MinSpeedupCores    = 4
+)
+
+// WriteWallclock writes the snapshot as indented JSON.
+func WriteWallclock(w io.Writer, s WallclockSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ParseWallclock decodes and validates a JSON wall-clock baseline.
+func ParseWallclock(data []byte) (WallclockSnapshot, error) {
+	var s WallclockSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("bench: invalid wallclock JSON: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// Validate checks schema conformance and — determinism being the hard
+// requirement — that the recorded serial and parallel outputs matched. The
+// speedup floor only binds when the recording host had enough cores for a
+// speedup to be physically possible.
+func (s WallclockSnapshot) Validate() error {
+	if s.Schema != WallclockSchema {
+		return fmt.Errorf("bench: wallclock schema %q, want %q", s.Schema, WallclockSchema)
+	}
+	if s.Figure == "" {
+		return fmt.Errorf("bench: wallclock snapshot has no figure name")
+	}
+	if s.Cores < 1 || s.Parallel < 1 {
+		return fmt.Errorf("bench: wallclock cores=%d parallel=%d out of range", s.Cores, s.Parallel)
+	}
+	if s.SerialNS <= 0 || s.ParallelNS <= 0 {
+		return fmt.Errorf("bench: wallclock non-positive timings %+v", s)
+	}
+	if want := float64(s.SerialNS) / float64(s.ParallelNS); s.Speedup < want*0.99 || s.Speedup > want*1.01 {
+		return fmt.Errorf("bench: wallclock speedup %.3f inconsistent with timings (want %.3f)", s.Speedup, want)
+	}
+	if !s.Identical {
+		return fmt.Errorf("bench: wallclock recording had non-identical serial/parallel outputs")
+	}
+	if s.Cores >= MinSpeedupCores && s.Parallel >= MinSpeedupCores && s.Speedup < MinParallelSpeedup {
+		return fmt.Errorf("bench: wallclock speedup %.2fx below the %.1fx floor on a %d-core host",
+			s.Speedup, MinParallelSpeedup, s.Cores)
+	}
+	return nil
+}

@@ -210,8 +210,8 @@ func (h *Host) failover(now sim.Time) {
 	px := fw.proxyFor(h.rank)
 	h.failedOver = true
 	h.Failovers++
-	fw.cl.Met.Counter("core", fmt.Sprintf("rank%d", h.rank), "heartbeat_losses").Inc()
-	fw.cl.Met.Counter("core", fmt.Sprintf("rank%d", h.rank), "failovers").Inc()
+	h.mHeartbeatLosses.Inc()
+	h.mFailovers.Inc()
 	if inj := fw.cl.Inj; inj != nil {
 		inj.Note(now, fmt.Sprintf("rank%d", h.rank), "heartbeat-loss",
 			fmt.Sprintf("proxy%d silent for %s", px.global, fw.hbTimeout()))

@@ -137,6 +137,8 @@ func New(cl *cluster.Cluster, cfg Config, sites []*cluster.Site) *Framework {
 			h.dlvCnt = make(map[gsKey]int)
 			h.pendingSends = make(map[int64]*sendRec)
 			h.osPending = make(map[int64]*osRec)
+			h.mHeartbeatLosses = cl.Met.Counter("core", fmt.Sprintf("rank%d", r), "heartbeat_losses")
+			h.mFailovers = cl.Met.Counter("core", fmt.Sprintf("rank%d", r), "failovers")
 		}
 		fw.hosts = append(fw.hosts, h)
 	}

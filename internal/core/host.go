@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/gvmi"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/regcache"
 	"repro/internal/sim"
 	"repro/internal/span"
@@ -45,6 +46,12 @@ type Host struct {
 	fbRun        []*fbCall
 	deferred     []func()
 	failedOver   bool
+
+	// Failure-detector metric handles; bound at construction (only under a
+	// crash-configured fault plan, alongside the state above) so failover
+	// never pays a registry lookup.
+	mHeartbeatLosses *metrics.Counter
+	mFailovers       *metrics.Counter
 
 	// Reliability counters (aggregated by Framework.Stats).
 	Failovers      int64

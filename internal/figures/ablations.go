@@ -24,9 +24,16 @@ func Ablations(ppn, warmup, iters int) []*bench.Table {
 	on := baseline.ProposedConfig()
 	off := baseline.ProposedConfig()
 	off.RegCaches = false
-	for _, size := range sizes {
-		a := bench.MeasureScatterDest(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed, Core: &on}, size, warmup, iters, true)
-		b := bench.MeasureScatterDest(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed, Core: &off}, size, warmup, iters, true)
+	regRes := make([]bench.NBCResult, 2*len(sizes))
+	bench.Sweep(len(regRes), func(j int, env bench.SweepEnv) {
+		cfg := &on
+		if j%2 == 1 {
+			cfg = &off
+		}
+		regRes[j] = bench.MeasureScatterDest(env.Attach(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed, Core: cfg}), sizes[j/2], warmup, iters, true)
+	})
+	for i, size := range sizes {
+		a, b := regRes[2*i], regRes[2*i+1]
 		t.AddRow(bench.SizeLabel(size),
 			bench.F2(a.Overall.Micros()), bench.F2(b.Overall.Micros()),
 			bench.Pct(100*(1-float64(a.Overall)/float64(b.Overall))))
@@ -42,9 +49,16 @@ func Ablations(ppn, warmup, iters int) []*bench.Table {
 	gOn := baseline.ProposedConfig()
 	gOff := baseline.ProposedConfig()
 	gOff.GroupCache = false
-	for _, size := range sizes {
-		a := bench.MeasureScatterDest(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed, Core: &gOn}, size, warmup, iters, false)
-		b := bench.MeasureScatterDest(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed, Core: &gOff}, size, warmup, iters, false)
+	grpRes := make([]bench.NBCResult, 2*len(sizes))
+	bench.Sweep(len(grpRes), func(j int, env bench.SweepEnv) {
+		cfg := &gOn
+		if j%2 == 1 {
+			cfg = &gOff
+		}
+		grpRes[j] = bench.MeasureScatterDest(env.Attach(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed, Core: cfg}), sizes[j/2], warmup, iters, false)
+	})
+	for i, size := range sizes {
+		a, b := grpRes[2*i], grpRes[2*i+1]
 		t.AddRow(bench.SizeLabel(size),
 			bench.F2(a.Overall.Micros()), bench.F2(b.Overall.Micros()),
 			bench.Pct(100*(1-float64(a.Overall)/float64(b.Overall))))
@@ -58,9 +72,16 @@ func Ablations(ppn, warmup, iters int) []*bench.Table {
 		Headers: []string{"Size", "GVMI", "Staging", "Saving"},
 	}
 	stg := baseline.StagingNoWarmupConfig()
-	for _, size := range sizes {
-		a := bench.MeasureIalltoall(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed}, size, warmup, iters)
-		b := bench.MeasureIalltoall(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameBluesMPI, Core: &stg}, size, warmup, iters)
+	mechRes := make([]bench.NBCResult, 2*len(sizes))
+	bench.Sweep(len(mechRes), func(j int, env bench.SweepEnv) {
+		if j%2 == 0 {
+			mechRes[j] = bench.MeasureIalltoall(env.Attach(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed}), sizes[j/2], warmup, iters)
+		} else {
+			mechRes[j] = bench.MeasureIalltoall(env.Attach(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameBluesMPI, Core: &stg}), sizes[j/2], warmup, iters)
+		}
+	})
+	for i, size := range sizes {
+		a, b := mechRes[2*i], mechRes[2*i+1]
 		t.AddRow(bench.SizeLabel(size),
 			bench.F2(a.PureComm.Micros()), bench.F2(b.PureComm.Micros()),
 			bench.Pct(100*(1-float64(a.PureComm)/float64(b.PureComm))))
@@ -73,11 +94,15 @@ func Ablations(ppn, warmup, iters int) []*bench.Table {
 		Title:   fmt.Sprintf("Ablation: proxies per DPU, Proposed Ialltoall 64K, %d nodes x %d PPN (us)", nodes, ppn),
 		Headers: []string{"Proxies", "Overall", "Overlap"},
 	}
-	for _, nproxies := range []int{1, 2, 4, 8} {
-		r := bench.MeasureIalltoall(bench.Options{
-			Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed, ProxiesPerDPU: nproxies,
-		}, 64<<10, warmup, iters)
-		t.AddRow(fmt.Sprint(nproxies), bench.F2(r.Overall.Micros()), bench.Pct(r.Overlap))
+	proxyCounts := []int{1, 2, 4, 8}
+	pxRes := make([]bench.NBCResult, len(proxyCounts))
+	bench.Sweep(len(pxRes), func(j int, env bench.SweepEnv) {
+		pxRes[j] = bench.MeasureIalltoall(env.Attach(bench.Options{
+			Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed, ProxiesPerDPU: proxyCounts[j],
+		}), 64<<10, warmup, iters)
+	})
+	for i, nproxies := range proxyCounts {
+		t.AddRow(fmt.Sprint(nproxies), bench.F2(pxRes[i].Overall.Micros()), bench.Pct(pxRes[i].Overlap))
 	}
 	t.Notes = append(t.Notes,
 		"more workers spread control handling across ARM cores (proxy = rank %% proxies_per_dpu);",

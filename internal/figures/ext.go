@@ -17,24 +17,36 @@ func ExtBF3(nodes, ppn int, sizes []int, warmup, iters int) *bench.Table {
 		Title:   fmt.Sprintf("Extension: BlueField-3 + NDR (future work), Ialltoall overall time, %d nodes x %d PPN (us)", nodes, ppn),
 		Headers: []string{"Size", "BF2 Proposed", "BF3 Proposed", "BF3 BluesMPI", "BF3 IntelMPI", "BF3 vs BF2"},
 	}
-	for _, size := range sizes {
-		bf2 := bench.MeasureIalltoall(bench.Options{
-			Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed,
-		}, size, warmup, iters)
-
-		res := map[string]bench.NBCResult{}
-		for _, scheme := range nbcSchemes {
-			ccfg := cluster.BlueField3Config(nodes, ppn)
-			res[scheme] = bench.MeasureIalltoall(bench.Options{
-				Nodes: nodes, PPN: ppn, Scheme: scheme, Cluster: &ccfg,
-			}, size, warmup, iters)
+	// Per size: one BF2 job followed by one job per BF3 scheme, in the
+	// serial nesting order.
+	stride := 1 + len(nbcSchemes)
+	res := make([]bench.NBCResult, len(sizes)*stride)
+	bench.Sweep(len(res), func(j int, env bench.SweepEnv) {
+		size := sizes[j/stride]
+		k := j % stride
+		if k == 0 {
+			res[j] = bench.MeasureIalltoall(env.Attach(bench.Options{
+				Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed,
+			}), size, warmup, iters)
+			return
+		}
+		ccfg := cluster.BlueField3Config(nodes, ppn)
+		res[j] = bench.MeasureIalltoall(env.Attach(bench.Options{
+			Nodes: nodes, PPN: ppn, Scheme: nbcSchemes[k-1], Cluster: &ccfg,
+		}), size, warmup, iters)
+	})
+	for si, size := range sizes {
+		bf2 := res[si*stride]
+		row := map[string]bench.NBCResult{}
+		for ki, scheme := range nbcSchemes {
+			row[scheme] = res[si*stride+1+ki]
 		}
 		t.AddRow(bench.SizeLabel(size),
 			bench.F2(bf2.Overall.Micros()),
-			bench.F2(res[baseline.NameProposed].Overall.Micros()),
-			bench.F2(res[baseline.NameBluesMPI].Overall.Micros()),
-			bench.F2(res[baseline.NameIntelMPI].Overall.Micros()),
-			bench.Pct(100*(1-float64(res[baseline.NameProposed].Overall)/float64(bf2.Overall))))
+			bench.F2(row[baseline.NameProposed].Overall.Micros()),
+			bench.F2(row[baseline.NameBluesMPI].Overall.Micros()),
+			bench.F2(row[baseline.NameIntelMPI].Overall.Micros()),
+			bench.Pct(100*(1-float64(row[baseline.NameProposed].Overall)/float64(bf2.Overall))))
 	}
 	t.Notes = append(t.Notes, "BF3 ARM overhead 350ns (vs 600ns), NDR 25 GB/s (vs HDR100 12.5 GB/s)")
 	return t
@@ -49,18 +61,23 @@ func ExtIallgather(nodes, ppn int, sizes []int, warmup, iters int) *bench.Table 
 		Title:   fmt.Sprintf("Extension: Iallgather (ref [9] workload) overall time, %d nodes x %d PPN (us)", nodes, ppn),
 		Headers: []string{"Size", "BluesMPI", "Proposed", "IntelMPI", "Proposed overlap"},
 	}
-	for _, size := range sizes {
-		res := map[string]bench.NBCResult{}
-		for _, scheme := range nbcSchemes {
-			res[scheme] = bench.MeasureIallgather(bench.Options{
-				Nodes: nodes, PPN: ppn, Scheme: scheme,
-			}, size, warmup, iters)
+	nsch := len(nbcSchemes)
+	res := make([]bench.NBCResult, len(sizes)*nsch)
+	bench.Sweep(len(res), func(j int, env bench.SweepEnv) {
+		res[j] = bench.MeasureIallgather(env.Attach(bench.Options{
+			Nodes: nodes, PPN: ppn, Scheme: nbcSchemes[j%nsch],
+		}), sizes[j/nsch], warmup, iters)
+	})
+	for si, size := range sizes {
+		row := map[string]bench.NBCResult{}
+		for ki, scheme := range nbcSchemes {
+			row[scheme] = res[si*nsch+ki]
 		}
 		t.AddRow(bench.SizeLabel(size),
-			bench.F2(res[baseline.NameBluesMPI].Overall.Micros()),
-			bench.F2(res[baseline.NameProposed].Overall.Micros()),
-			bench.F2(res[baseline.NameIntelMPI].Overall.Micros()),
-			bench.Pct(res[baseline.NameProposed].Overlap))
+			bench.F2(row[baseline.NameBluesMPI].Overall.Micros()),
+			bench.F2(row[baseline.NameProposed].Overall.Micros()),
+			bench.F2(row[baseline.NameIntelMPI].Overall.Micros()),
+			bench.Pct(row[baseline.NameProposed].Overlap))
 	}
 	t.Notes = append(t.Notes, "the host ring stalls between steps without CPU intervention; the offloaded ring chains on the proxies")
 	return t

@@ -63,16 +63,25 @@ func Fig4(warmup, iters int) *bench.Table {
 		Headers: []string{"Size", "Host", "Staged", "Degradation"},
 	}
 	staging := baseline.StagingNoWarmupConfig()
-	for _, size := range bench.Pow2Sizes(4<<10, 2<<20) {
-		host := bench.MeasurePingpongNB(bench.Options{
-			Nodes: 2, PPN: 1, Scheme: baseline.NameIntelMPI,
-		}, size, warmup, iters)
-		staged := bench.MeasurePingpongNB(bench.Options{
-			Nodes: 2, PPN: 1, Scheme: baseline.NameBluesMPI, Core: &staging,
-		}, size, warmup, iters)
+	sizes := bench.Pow2Sizes(4<<10, 2<<20)
+	host := make([]sim.Time, len(sizes))
+	staged := make([]sim.Time, len(sizes))
+	bench.Sweep(2*len(sizes), func(j int, env bench.SweepEnv) {
+		i := j / 2
+		if j%2 == 0 {
+			host[i] = bench.MeasurePingpongNB(env.Attach(bench.Options{
+				Nodes: 2, PPN: 1, Scheme: baseline.NameIntelMPI,
+			}), sizes[i], warmup, iters)
+		} else {
+			staged[i] = bench.MeasurePingpongNB(env.Attach(bench.Options{
+				Nodes: 2, PPN: 1, Scheme: baseline.NameBluesMPI, Core: &staging,
+			}), sizes[i], warmup, iters)
+		}
+	})
+	for i, size := range sizes {
 		t.AddRow(bench.SizeLabel(size),
-			bench.F2(host.Micros()), bench.F2(staged.Micros()),
-			bench.F2(float64(staged)/float64(host)))
+			bench.F2(host[i].Micros()), bench.F2(staged[i].Micros()),
+			bench.F2(float64(staged[i])/float64(host[i])))
 	}
 	t.Notes = append(t.Notes, "paper: staging degrades latency vs direct host-host (extra hop through DPU DRAM)")
 	return t
@@ -103,9 +112,18 @@ func Fig11And12(nodes, ppn, warmup, iters int, problems []int) (*bench.Table, *b
 		Title:   fmt.Sprintf("Fig 12: 3DStencil overlap %%, %d nodes x %d PPN", nodes, ppn),
 		Headers: []string{"Problem", "Proposed", "IntelMPI"},
 	}
-	for _, n := range problems {
-		host := stencil.Run(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameIntelMPI}, n, warmup, iters)
-		prop := stencil.Run(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed}, n, warmup, iters)
+	hostR := make([]stencil.Result, len(problems))
+	propR := make([]stencil.Result, len(problems))
+	bench.Sweep(2*len(problems), func(j int, env bench.SweepEnv) {
+		i := j / 2
+		if j%2 == 0 {
+			hostR[i] = stencil.Run(env.Attach(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameIntelMPI}), problems[i], warmup, iters)
+		} else {
+			propR[i] = stencil.Run(env.Attach(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed}), problems[i], warmup, iters)
+		}
+	})
+	for i, n := range problems {
+		host, prop := hostR[i], propR[i]
 		label := fmt.Sprintf("%d^3", n)
 		t11.AddRow(label,
 			bench.F2(float64(prop.Overall)/float64(host.Overall)),
@@ -122,8 +140,22 @@ func Fig11And12(nodes, ppn, warmup, iters int, problems []int) (*bench.Table, *b
 // overlap for BluesMPI / Proposed / IntelMPI across node counts and message
 // sizes.
 func Fig13And14(nodesList []int, ppn int, sizes []int, warmup, iters int) ([]*bench.Table, []*bench.Table) {
+	// One sweep job per (nodes, size, scheme) point, indexed in the exact
+	// nesting order of the serial loops so the shared-registry metrics state
+	// (and therefore -metrics output) is identical at any parallelism.
+	ns, nsch := len(sizes), len(nbcSchemes)
+	res := make([]bench.NBCResult, len(nodesList)*ns*nsch)
+	bench.Sweep(len(res), func(j int, env bench.SweepEnv) {
+		nodes := nodesList[j/(ns*nsch)]
+		size := sizes[j/nsch%ns]
+		scheme := nbcSchemes[j%nsch]
+		res[j] = bench.MeasureIalltoall(env.Attach(bench.Options{
+			Nodes: nodes, PPN: ppn, Scheme: scheme,
+		}), size, warmup, iters)
+	})
+
 	var t13s, t14s []*bench.Table
-	for _, nodes := range nodesList {
+	for ni, nodes := range nodesList {
 		t13 := &bench.Table{
 			Title:   fmt.Sprintf("Fig 13: Ialltoall overall time (comm+compute), %d nodes x %d PPN (us)", nodes, ppn),
 			Headers: []string{"Size", "BluesMPI", "Proposed", "IntelMPI", "vs BluesMPI", "vs IntelMPI"},
@@ -132,14 +164,12 @@ func Fig13And14(nodesList []int, ppn int, sizes []int, warmup, iters int) ([]*be
 			Title:   fmt.Sprintf("Fig 14: Ialltoall overlap %%, %d nodes x %d PPN", nodes, ppn),
 			Headers: []string{"Size", "BluesMPI", "Proposed", "IntelMPI"},
 		}
-		for _, size := range sizes {
-			res := map[string]bench.NBCResult{}
-			for _, scheme := range nbcSchemes {
-				res[scheme] = bench.MeasureIalltoall(bench.Options{
-					Nodes: nodes, PPN: ppn, Scheme: scheme,
-				}, size, warmup, iters)
+		for si, size := range sizes {
+			row := map[string]bench.NBCResult{}
+			for ki, scheme := range nbcSchemes {
+				row[scheme] = res[(ni*ns+si)*nsch+ki]
 			}
-			b, p, i := res[baseline.NameBluesMPI], res[baseline.NameProposed], res[baseline.NameIntelMPI]
+			b, p, i := row[baseline.NameBluesMPI], row[baseline.NameProposed], row[baseline.NameIntelMPI]
 			t13.AddRow(bench.SizeLabel(size),
 				bench.F2(b.Overall.Micros()), bench.F2(p.Overall.Micros()), bench.F2(i.Overall.Micros()),
 				bench.Pct(100*(1-float64(p.Overall)/float64(b.Overall))),
@@ -170,10 +200,13 @@ func Fig15(nodes, ppn int, sizes []int, warmup, iters int, groupCache bool) *ben
 	}
 	cfg := baseline.ProposedConfig()
 	cfg.GroupCache = groupCache
-	for _, size := range sizes {
-		opt := bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed, Core: &cfg}
-		simple := bench.MeasureScatterDest(opt, size, warmup, iters, true)
-		group := bench.MeasureScatterDest(opt, size, warmup, iters, false)
+	res := make([]bench.NBCResult, 2*len(sizes))
+	bench.Sweep(len(res), func(j int, env bench.SweepEnv) {
+		opt := env.Attach(bench.Options{Nodes: nodes, PPN: ppn, Scheme: baseline.NameProposed, Core: &cfg})
+		res[j] = bench.MeasureScatterDest(opt, sizes[j/2], warmup, iters, j%2 == 0)
+	})
+	for i, size := range sizes {
+		simple, group := res[2*i], res[2*i+1]
 		t.AddRow(bench.SizeLabel(size),
 			bench.F2(simple.Overall.Micros()), bench.F2(group.Overall.Micros()),
 			bench.Pct(100*(1-float64(group.Overall)/float64(simple.Overall))))
@@ -192,19 +225,24 @@ func Fig16(nodes, ppn, xy int, zs []int, iters int) *bench.Table {
 		Title:   fmt.Sprintf("Fig 16: P3DFFT normalized runtime, %d nodes x %d PPN, X=Y=%d (lower is better)", nodes, ppn, xy),
 		Headers: []string{"Z", "BluesMPI", "Proposed", "IntelMPI", "Proposed total"},
 	}
-	for _, z := range zs {
-		res := map[string]fft.BenchResult{}
-		for _, scheme := range nbcSchemes {
-			res[scheme] = fft.RunBench(bench.Options{
-				Nodes: nodes, PPN: ppn, Scheme: scheme,
-			}, xy, xy, z, warmup, iters)
+	nsch := len(nbcSchemes)
+	res := make([]fft.BenchResult, len(zs)*nsch)
+	bench.Sweep(len(res), func(j int, env bench.SweepEnv) {
+		res[j] = fft.RunBench(env.Attach(bench.Options{
+			Nodes: nodes, PPN: ppn, Scheme: nbcSchemes[j%nsch],
+		}), xy, xy, zs[j/nsch], warmup, iters)
+	})
+	for zi, z := range zs {
+		row := map[string]fft.BenchResult{}
+		for ki, scheme := range nbcSchemes {
+			row[scheme] = res[zi*nsch+ki]
 		}
-		host := float64(res[baseline.NameIntelMPI].Total)
+		host := float64(row[baseline.NameIntelMPI].Total)
 		t.AddRow(fmt.Sprint(z),
-			bench.F2(float64(res[baseline.NameBluesMPI].Total)/host),
-			bench.F2(float64(res[baseline.NameProposed].Total)/host),
+			bench.F2(float64(row[baseline.NameBluesMPI].Total)/host),
+			bench.F2(float64(row[baseline.NameProposed].Total)/host),
 			"1.00",
-			res[baseline.NameProposed].Total.String())
+			row[baseline.NameProposed].Total.String())
 	}
 	t.Notes = append(t.Notes,
 		"paper 16(a): Proposed up to 16% better than IntelMPI, 55% than BluesMPI (8 nodes)",
@@ -220,10 +258,14 @@ func Fig16C(nodes, ppn, xy, z, iters int) *bench.Table {
 		Title:   fmt.Sprintf("Fig 16(c): P3DFFT single-phase profile, %d nodes x %d PPN, %dx%dx%d (ms)", nodes, ppn, xy, xy, z),
 		Headers: []string{"Library", "Compute", "MPI time", "Total"},
 	}
-	for _, scheme := range []string{baseline.NameIntelMPI, baseline.NameBluesMPI, baseline.NameProposed} {
-		res := fft.RunBench(bench.Options{Nodes: nodes, PPN: ppn, Scheme: scheme}, xy, xy, z, warmup, iters)
+	schemes := []string{baseline.NameIntelMPI, baseline.NameBluesMPI, baseline.NameProposed}
+	res := make([]fft.BenchResult, len(schemes))
+	bench.Sweep(len(schemes), func(j int, env bench.SweepEnv) {
+		res[j] = fft.RunBench(env.Attach(bench.Options{Nodes: nodes, PPN: ppn, Scheme: schemes[j]}), xy, xy, z, warmup, iters)
+	})
+	for i, scheme := range schemes {
 		t.AddRow(scheme,
-			bench.F2(res.Compute.Millis()), bench.F2(res.MPITime.Millis()), bench.F2(res.Total.Millis()))
+			bench.F2(res[i].Compute.Millis()), bench.F2(res[i].MPITime.Millis()), bench.F2(res[i].Total.Millis()))
 	}
 	t.Notes = append(t.Notes, "paper: compute identical across libraries; BluesMPI spends the most time in MPI_Wait (no warm-up at app level)")
 	return t
@@ -252,13 +294,18 @@ func Fig17(nodes, ppn, memGB, nb int, fracs []int) *bench.Table {
 			nodes, ppn, memGB),
 		Headers: []string{"Mem%", "N", "IntelMPI-1ring", "IntelMPI-Ibcast", "BluesMPI", "Proposed"},
 	}
-	for _, frac := range fracs {
+	nv := len(HPLVariants)
+	res := make([]hpl.Result, len(fracs)*nv)
+	bench.Sweep(len(res), func(j int, env bench.SweepEnv) {
+		v := HPLVariants[j%nv]
+		par := hpl.DefaultParams(HPLSizeFor(nodes, memGB, fracs[j/nv], nb), nb, v.Variant)
+		res[j] = hpl.Run(env.Attach(bench.Options{Nodes: nodes, PPN: ppn, Scheme: v.Scheme}), par)
+	})
+	for fi, frac := range fracs {
 		n := HPLSizeFor(nodes, memGB, frac, nb)
 		totals := map[string]sim.Time{}
-		for _, v := range HPLVariants {
-			par := hpl.DefaultParams(n, nb, v.Variant)
-			res := hpl.Run(bench.Options{Nodes: nodes, PPN: ppn, Scheme: v.Scheme}, par)
-			totals[v.Label] = res.Total
+		for vi, v := range HPLVariants {
+			totals[v.Label] = res[fi*nv+vi].Total
 		}
 		base := float64(totals["IntelMPI-1ring"])
 		t.AddRow(fmt.Sprintf("%d%%", frac), fmt.Sprint(n),

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Merge folds a worker's private registry into the shared one with the same
+// result a serial run would have produced: counters and histograms add,
+// Set-gauges overwrite (last merged writer = last serial writer), and
+// SetMax-gauges take the maximum.
+func TestMergeSemantics(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("fabric", "ep", "msgs_tx").Add(3)
+	dst.Gauge("core", "p0", "queue_depth").Set(5)
+	dst.Gauge("core", "p0", "queue_peak").SetMax(5)
+	dst.Histogram("verbs", "all", "lat").Observe(1 * sim.Microsecond)
+
+	src := NewRegistry()
+	src.Counter("fabric", "ep", "msgs_tx").Add(4)
+	src.Counter("fabric", "ep", "msgs_rx").Add(2) // only in src
+	src.Gauge("core", "p0", "queue_depth").Set(1) // overwrites 5
+	src.Gauge("core", "p0", "queue_peak").SetMax(3)
+	src.Gauge("core", "p1", "queue_peak").SetMax(9) // only in src
+	src.Histogram("verbs", "all", "lat").Observe(3 * sim.Microsecond)
+
+	dst.Merge(src)
+
+	if v := dst.Counter("fabric", "ep", "msgs_tx").Value(); v != 7 {
+		t.Errorf("merged counter = %d, want 7", v)
+	}
+	if v := dst.Counter("fabric", "ep", "msgs_rx").Value(); v != 2 {
+		t.Errorf("src-only counter = %d, want 2", v)
+	}
+	if v := dst.Gauge("core", "p0", "queue_depth").Value(); v != 1 {
+		t.Errorf("Set gauge = %v, want overwrite to 1", v)
+	}
+	if v := dst.Gauge("core", "p0", "queue_peak").Value(); v != 5 {
+		t.Errorf("SetMax gauge = %v, want max(5,3)=5", v)
+	}
+	if v := dst.Gauge("core", "p1", "queue_peak").Value(); v != 9 {
+		t.Errorf("src-only SetMax gauge = %v, want 9", v)
+	}
+	h := dst.Histogram("verbs", "all", "lat")
+	if h.Count() != 2 || h.Sum() != 4*sim.Microsecond {
+		t.Errorf("merged histogram count=%d sum=%d, want 2/%d", h.Count(), h.Sum(), 4*sim.Microsecond)
+	}
+}
+
+// A series the source created but never wrote still materializes in the
+// destination — "series exist from the first request" must survive merging,
+// so serial and merged snapshots list identical keys.
+func TestMergeCreatesUntouchedSeries(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("fabric", "ep", "drops")
+	src.Gauge("core", "p0", "inflight")
+	src.Histogram("verbs", "all", "lat")
+
+	dst := NewRegistry()
+	dst.Merge(src)
+	snap := dst.Snapshot()
+	if len(snap.Counters) != 1 || len(snap.Gauges) != 1 || len(snap.Histograms) != 1 {
+		t.Fatalf("untouched series not materialized: %+v", snap)
+	}
+}
+
+// Merging nil is a no-op, and merging private registries in index order
+// reproduces the serial interleaving byte-for-byte at the snapshot level.
+func TestMergeOrderMatchesSerial(t *testing.T) {
+	serial := NewRegistry()
+	for i := 0; i < 4; i++ {
+		serial.Counter("l", "e", "n").Add(int64(i))
+		serial.Gauge("l", "e", "last").Set(float64(i))
+		serial.Gauge("l", "e", "peak").SetMax(float64(i % 3))
+	}
+
+	merged := NewRegistry()
+	merged.Merge(nil)
+	for i := 0; i < 4; i++ {
+		priv := NewRegistry()
+		priv.Counter("l", "e", "n").Add(int64(i))
+		priv.Gauge("l", "e", "last").Set(float64(i))
+		priv.Gauge("l", "e", "peak").SetMax(float64(i % 3))
+		merged.Merge(priv)
+	}
+
+	if !reflect.DeepEqual(serial.Snapshot(), merged.Snapshot()) {
+		t.Fatalf("merged snapshot diverges from serial:\nserial: %+v\nmerged: %+v",
+			serial.Snapshot(), merged.Snapshot())
+	}
+}

@@ -74,21 +74,32 @@ func (c *Counter) Value() int64 {
 
 // Gauge is a last-written float64 (queue depths, pool sizes). All methods
 // are nil-safe.
+//
+// A gauge remembers which write kind was used (Set vs SetMax) so that
+// Registry.Merge can reproduce serial semantics when per-job registries are
+// combined: Set-gauges take the last merged writer's value, SetMax-gauges
+// take the maximum. Each series should stick to one write kind.
 type Gauge struct {
-	v float64
+	v        float64
+	wroteSet bool
+	wroteMax bool
 }
 
 // Set records the current value; nil-safe.
 func (g *Gauge) Set(v float64) {
 	if g != nil {
 		g.v = v
+		g.wroteSet = true
 	}
 }
 
 // SetMax raises the gauge to v if v is larger (high-water marks); nil-safe.
 func (g *Gauge) SetMax(v float64) {
-	if g != nil && v > g.v {
-		g.v = v
+	if g != nil {
+		g.wroteMax = true
+		if v > g.v {
+			g.v = v
+		}
 	}
 }
 
@@ -211,6 +222,45 @@ func (r *Registry) Histogram(layer, entity, name string) *Histogram {
 		r.hists[k] = h
 	}
 	return h
+}
+
+// Merge folds the series of src into r. It exists for the parallel sweep
+// runner: each sweep job records into a private registry, and the runner
+// merges them back in ascending sweep-index order, which reproduces the
+// state a single shared registry would have reached serially:
+//
+//   - counters and histograms are additive, so merge order cannot matter;
+//   - Set-gauges take the merging writer's value (last writer in merge
+//     order == last writer in serial sweep order);
+//   - SetMax-gauges take the maximum, which is order-independent.
+//
+// Series missing from r are created, preserving the "series exist from
+// first request" export property. Merging a nil src is a no-op; r itself
+// must be non-nil (merge targets are always live registries).
+func (r *Registry) Merge(src *Registry) {
+	if src == nil {
+		return
+	}
+	for k, c := range src.counters {
+		r.Counter(k.Layer, k.Entity, k.Name).Add(c.v)
+	}
+	for k, g := range src.gauges {
+		dst := r.Gauge(k.Layer, k.Entity, k.Name)
+		switch {
+		case g.wroteSet:
+			dst.Set(g.v)
+		case g.wroteMax:
+			dst.SetMax(g.v)
+		}
+	}
+	for k, h := range src.hists {
+		dst := r.Histogram(k.Layer, k.Entity, k.Name)
+		dst.count += h.count
+		dst.sum += h.sum
+		for i, n := range h.buckets {
+			dst.buckets[i] += n
+		}
+	}
 }
 
 // sortedKeys returns the map keys in deterministic export order.

@@ -1,44 +1,47 @@
 package sim
 
 import (
-	"container/heap"
+	"errors"
 	"fmt"
 )
 
-// event is a scheduled callback. Events with equal timestamps fire in
-// scheduling order (seq), which makes runs deterministic.
+// event is one arena slot: a scheduled callback, a timed callback, or a
+// parked process waiting to be dispatched. Exactly one of fn/fnT/p is set.
+// Events with equal timestamps fire in scheduling order (seq), which makes
+// runs deterministic.
+//
+// Events live in the kernel's arena (a value slice indexed by evIdx) and are
+// recycled through a free list, so steady-state scheduling allocates
+// nothing: no per-event heap object and no interface{} boxing, unlike the
+// container/heap implementation this replaced.
 type event struct {
-	at   Time
-	seq  uint64
-	fire func()
+	at  Time
+	seq uint64
+	fn  func()     // plain callback (handler context)
+	fnT func(Time) // timed callback; receives the firing time
+	p   *Proc      // parked process to dispatch
 }
 
-type eventHeap []*event
+// evIdx indexes the event arena. int32 keeps the heap slice compact; two
+// billion simultaneously-pending events is far beyond any plausible run.
+type evIdx = int32
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+// heapArity is the fan-out of the event min-heap. A 4-ary heap does the same
+// number of comparisons per level as binary on sift-down but halves the tree
+// depth, which wins on the pop-heavy DES workload (every event is popped
+// exactly once).
+const heapArity = 4
 
 // Kernel is the discrete-event simulation engine. Create one with NewKernel,
 // spawn processes with Spawn, schedule raw callbacks with At, then call Run.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
+	now Time
+	seq uint64
+
+	arena []event // event storage; slots are recycled via freeList
+	freeL []evIdx // free slots in arena
+	heap  []evIdx // min-heap of pending events ordered by (at, seq)
+
 	procs   []*Proc
 	live    int   // spawned but not finished
 	running *Proc // process currently executing, nil in handler context
@@ -74,9 +77,133 @@ func (k *Kernel) At(delay Time, fn func()) {
 	k.schedule(k.now+delay, fn)
 }
 
-func (k *Kernel) schedule(at Time, fn func()) {
+// AtCall schedules fn to run at now+delay in handler context, passing the
+// firing time. It exists so completion callbacks with a (Time) parameter can
+// be scheduled directly — `k.AtCall(d, op.OnComplete)` — instead of through
+// a `func() { op.OnComplete(k.Now()) }` wrapper that allocates a closure per
+// operation. A negative delay is treated as zero.
+func (k *Kernel) AtCall(delay Time, fn func(Time)) {
+	if delay < 0 {
+		delay = 0
+	}
+	i := k.slot()
+	ev := &k.arena[i]
 	k.seq++
-	heap.Push(&k.events, &event{at: at, seq: k.seq, fire: fn})
+	ev.at, ev.seq, ev.fnT = k.now+delay, k.seq, fn
+	k.push(i)
+}
+
+func (k *Kernel) schedule(at Time, fn func()) {
+	i := k.slot()
+	ev := &k.arena[i]
+	k.seq++
+	ev.at, ev.seq, ev.fn = at, k.seq, fn
+	k.push(i)
+}
+
+// scheduleProc schedules a direct dispatch of p at the given time. This is
+// the allocation-free fast path for Sleep and condition wakeups: the event
+// carries the process pointer itself, so no per-wakeup closure is created.
+func (k *Kernel) scheduleProc(at Time, p *Proc) {
+	i := k.slot()
+	ev := &k.arena[i]
+	k.seq++
+	ev.at, ev.seq, ev.p = at, k.seq, p
+	k.push(i)
+}
+
+// slot returns a free arena index, growing the arena only when the free
+// list is empty (steady state reuses slots and allocates nothing).
+func (k *Kernel) slot() evIdx {
+	if n := len(k.freeL); n > 0 {
+		i := k.freeL[n-1]
+		k.freeL = k.freeL[:n-1]
+		return i
+	}
+	k.arena = append(k.arena, event{})
+	return evIdx(len(k.arena) - 1)
+}
+
+// less orders heap entries by (at, seq).
+func (k *Kernel) less(a, b evIdx) bool {
+	ea, eb := &k.arena[a], &k.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// push appends an event index and restores the heap invariant.
+func (k *Kernel) push(i evIdx) {
+	k.heap = append(k.heap, i)
+	h := k.heap
+	c := len(h) - 1
+	for c > 0 {
+		parent := (c - 1) / heapArity
+		if !k.less(h[c], h[parent]) {
+			break
+		}
+		h[c], h[parent] = h[parent], h[c]
+		c = parent
+	}
+}
+
+// pop removes and returns the earliest event index, panicking on the
+// corruption that both run loops must catch: an event scheduled in the past.
+func (k *Kernel) pop() evIdx {
+	h := k.heap
+	top := h[0]
+	if k.arena[top].at < k.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", k.arena[top].at, k.now))
+	}
+	n := len(h) - 1
+	h[0] = h[n]
+	k.heap = h[:n]
+	h = k.heap
+	// Sift down.
+	i := 0
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if k.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !k.less(h[best], h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top
+}
+
+// step pops and fires the earliest event. The arena slot is released before
+// the callback runs, so events scheduled from inside the callback can reuse
+// it; the fields needed are copied out first.
+func (k *Kernel) step() {
+	i := k.pop()
+	ev := &k.arena[i]
+	at, fn, fnT, p := ev.at, ev.fn, ev.fnT, ev.p
+	ev.fn, ev.fnT, ev.p = nil, nil, nil
+	k.freeL = append(k.freeL, i)
+	k.now = at
+	switch {
+	case p != nil:
+		k.dispatch(p)
+	case fnT != nil:
+		fnT(at)
+	default:
+		fn()
+	}
 }
 
 // Spawn creates a new simulated process that will begin executing fn at the
@@ -92,19 +219,27 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 	k.procs = append(k.procs, p)
 	k.live++
 	go func() {
+		defer func() {
+			if r := recover(); r != nil && r != errShutdown {
+				panic(r)
+			}
+			p.state = procDone
+			k.live--
+			k.yield <- struct{}{}
+		}()
 		<-p.resume
+		if p.killed {
+			return
+		}
 		fn(p)
-		p.state = procDone
-		k.live--
-		k.yield <- struct{}{}
 	}()
-	k.schedule(k.now, func() { k.dispatch(p) })
+	k.scheduleProc(k.now, p)
 	return p
 }
 
 // dispatch hands control to p until it blocks or finishes.
 func (k *Kernel) dispatch(p *Proc) {
-	if p.state == procDone {
+	if p.state == procDone || p.killed {
 		return
 	}
 	p.state = procRunning
@@ -114,14 +249,33 @@ func (k *Kernel) dispatch(p *Proc) {
 	k.running = nil
 }
 
-// pop removes and returns the earliest event, panicking on the corruption
-// that both run loops must catch: an event scheduled in the past.
-func (k *Kernel) pop() *event {
-	ev := heap.Pop(&k.events).(*event)
-	if ev.at < k.now {
-		panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", ev.at, k.now))
+// errShutdown is the sentinel Shutdown throws through parked process
+// goroutines; the Spawn wrapper recovers it and unwinds cleanly.
+var errShutdown = errors.New("sim: kernel shut down")
+
+// Shutdown unwinds every process goroutine that has not finished: parked
+// processes are resumed with a kill flag set and unwind via a sentinel panic
+// that their Spawn wrapper recovers; spawned-but-never-started processes
+// return before running their body. Without it, a kernel abandoned with
+// blocked processes (deadlock reports, RunUntil stopping early, daemons
+// whose wakeup never came) leaks one parked goroutine per process for the
+// life of the OS process — benchmark sweeps build thousands of kernels, so
+// bench/test helpers call Shutdown on every kernel they retire.
+//
+// Shutdown must be called from outside the kernel (not from a process or
+// handler); the kernel is unusable for further Spawn/Run calls afterwards.
+func (k *Kernel) Shutdown() {
+	if k.running != nil {
+		panic("sim: Shutdown called from inside the simulation")
 	}
-	return ev
+	for _, p := range k.procs {
+		if p.state == procDone {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-k.yield
+	}
 }
 
 // collectDeadlocked records non-daemon processes that are blocked with no
@@ -142,10 +296,8 @@ func (k *Kernel) collectDeadlocked() {
 // with no pending events, they are reported in k.Deadlocked.
 func (k *Kernel) Run() Time {
 	k.Deadlocked = nil
-	for k.events.Len() > 0 {
-		ev := k.pop()
-		k.now = ev.at
-		ev.fire()
+	for len(k.heap) > 0 {
+		k.step()
 	}
 	k.collectDeadlocked()
 	return k.now
@@ -160,23 +312,21 @@ func (k *Kernel) Run() Time {
 func (k *Kernel) RunUntil(deadline Time) int {
 	k.Deadlocked = nil
 	fired := 0
-	for k.events.Len() > 0 && k.events[0].at <= deadline {
-		ev := k.pop()
-		k.now = ev.at
-		ev.fire()
+	for len(k.heap) > 0 && k.arena[k.heap[0]].at <= deadline {
+		k.step()
 		fired++
 	}
 	if k.now < deadline {
 		k.now = deadline
 	}
-	if k.events.Len() == 0 {
+	if len(k.heap) == 0 {
 		k.collectDeadlocked()
 	}
 	return fired
 }
 
 // Pending reports the number of queued events.
-func (k *Kernel) Pending() int { return k.events.Len() }
+func (k *Kernel) Pending() int { return len(k.heap) }
 
 // Live reports the number of spawned processes that have not finished.
 func (k *Kernel) Live() int { return k.live }

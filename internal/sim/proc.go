@@ -24,6 +24,7 @@ type Proc struct {
 
 	busy   Time // accumulated AdvanceBusy (compute/CPU-work) time
 	daemon bool
+	killed bool // set by Kernel.Shutdown; the next resume unwinds
 }
 
 // SetDaemon marks the process as a daemon: it is expected to block forever
@@ -56,11 +57,16 @@ func (p *Proc) checkRunning() {
 }
 
 // yieldToKernel parks the goroutine and returns control to the kernel loop.
-// The caller must have arranged for a future dispatch of p.
+// The caller must have arranged for a future dispatch of p. If the kernel
+// was shut down while the process was parked, the goroutine unwinds via the
+// shutdown sentinel (recovered by the Spawn wrapper).
 func (p *Proc) yieldToKernel() {
 	p.state = procBlocked
 	p.k.yield <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(errShutdown)
+	}
 }
 
 // Sleep advances the process's virtual time by d. Other events and processes
@@ -72,7 +78,7 @@ func (p *Proc) Sleep(d Time) {
 		d = 0
 	}
 	k := p.k
-	k.schedule(k.now+d, func() { k.dispatch(p) })
+	k.scheduleProc(k.now+d, p)
 	p.yieldToKernel()
 }
 
@@ -119,8 +125,7 @@ func (c *Cond) Broadcast() {
 	ws := c.waiters
 	c.waiters = nil
 	for _, w := range ws {
-		p := w
-		p.k.schedule(p.k.now, func() { p.k.dispatch(p) })
+		w.k.scheduleProc(w.k.now, w)
 	}
 }
 
@@ -131,7 +136,7 @@ func (c *Cond) Signal() {
 	}
 	p := c.waiters[0]
 	c.waiters = c.waiters[1:]
-	p.k.schedule(p.k.now, func() { p.k.dispatch(p) })
+	p.k.scheduleProc(p.k.now, p)
 }
 
 // NWaiters reports how many processes are blocked on the condition.

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Reset empties the log but keeps the backing array, so refills up to the
+// previous high-water mark append into existing storage.
+func TestResetReusesStorage(t *testing.T) {
+	l := New(0)
+	for i := 0; i < 64; i++ {
+		l.Add(sim.Time(i), "rank0", "act", "")
+	}
+	l.Reset()
+	if l.Len() != 0 || l.Dropped() != 0 || len(l.Events()) != 0 {
+		t.Fatalf("Reset left state behind: len=%d dropped=%d", l.Len(), l.Dropped())
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		l.Reset()
+		for i := 0; i < 64; i++ {
+			l.Add(sim.Time(i), "rank0", "act", "")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("refill after Reset allocated %.1f objects per run, want 0", allocs)
+	}
+	// Reset on a nil log is a no-op.
+	var nilLog *Log
+	nilLog.Reset()
+}
+
+// Reset on a wrapped ring rewinds the head: the next Add lands at slot 0,
+// not mid-ring, and eviction accounting starts over.
+func TestResetRewindsRing(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 10; i++ {
+		l.Add(sim.Time(i), "e", "a", "")
+	}
+	if l.Dropped() != 6 {
+		t.Fatalf("precondition: dropped = %d, want 6", l.Dropped())
+	}
+	l.Reset()
+	for i := 0; i < 4; i++ {
+		l.Add(sim.Time(100+i), "e", "a", "")
+	}
+	ev := l.Events()
+	if len(ev) != 4 || l.Dropped() != 0 {
+		t.Fatalf("post-reset ring: %d events, %d dropped", len(ev), l.Dropped())
+	}
+	for i, e := range ev {
+		if e.At != sim.Time(100+i) {
+			t.Fatalf("events[%d].At = %v, want %v", i, e.At, sim.Time(100+i))
+		}
+	}
+}
+
+// Once the ring is full, Add evicts in place: the steady state allocates
+// nothing no matter how many events stream through.
+func TestRingSteadyStateAllocFree(t *testing.T) {
+	l := New(128)
+	for i := 0; i < 128; i++ {
+		l.Add(sim.Time(i), "rank0", "act", "detail")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			l.Add(sim.Time(i), "rank0", "act", "detail")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("full-ring Add allocated %.1f objects per run, want 0", allocs)
+	}
+}

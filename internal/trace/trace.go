@@ -68,6 +68,19 @@ func (l *Log) Add(at sim.Time, entity, action, detail string) {
 	l.events = append(l.events, ev)
 }
 
+// Reset discards all recorded events but keeps the backing storage, so a
+// log reused across benchmark repetitions reaches a steady state where Add
+// never allocates; nil-safe.
+func (l *Log) Reset() {
+	if l == nil {
+		return
+	}
+	l.events = l.events[:0]
+	l.start = 0
+	l.dropped = 0
+	l.sorted = nil
+}
+
 // Dropped reports how many events were evicted by the ring buffer;
 // nil-safe.
 func (l *Log) Dropped() int64 {

@@ -80,7 +80,7 @@ func (c *Ctx) PostWrite(p *sim.Proc, op WriteOp) error {
 			}
 		}, ws)
 		if op.OnLocalComplete != nil {
-			k.At(txDone-k.Now(), func() { op.OnLocalComplete(k.Now()) })
+			k.AtCall(txDone-k.Now(), op.OnLocalComplete)
 		}
 		return nil
 	}
@@ -132,7 +132,7 @@ func (c *Ctx) writeAttempt(op WriteOp, dst *MR, dstCtx *Ctx, payload []byte, att
 		return
 	}
 	if op.OnLocalComplete != nil {
-		k.At(txDone-k.Now(), func() { op.OnLocalComplete(k.Now()) })
+		k.AtCall(txDone-k.Now(), op.OnLocalComplete)
 	}
 }
 
@@ -147,7 +147,7 @@ func (c *Ctx) retryOrFail(kind string, size, attempt int, from sim.Time, again f
 		inj.Note(k.Now(), c.name, "retry-exhausted",
 			fmt.Sprintf("%s size=%d after %d attempts", kind, size, attempt))
 		if onErr != nil {
-			k.At(from-k.Now(), func() { onErr(k.Now()) })
+			k.AtCall(from-k.Now(), onErr)
 		}
 		return
 	}
