@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-snapshot snapshot-check bench-smoke wallclock
+.PHONY: all build test vet staticcheck race check bench bench-snapshot snapshot-check bench-smoke wallclock
 
 all: build
 
@@ -17,10 +17,20 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Runs staticcheck when it is on PATH and skips (loudly) when it is not:
+# dev containers without network access cannot `go install` it, but CI does
+# and must not skip.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
-check: vet build race snapshot-check
+check: vet staticcheck build race snapshot-check
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . ./internal/bench/ ./internal/sim/

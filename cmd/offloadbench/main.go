@@ -28,7 +28,6 @@ import (
 	"repro/internal/bench"
 	"repro/internal/fault"
 	"repro/internal/figures"
-	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/span"
 )
@@ -49,22 +48,15 @@ func main() {
 		nb     = fs.Int("nb", 256, "HPL block size")
 		seed   = fs.Int64("seed", 42, "chaos fault-injection seed")
 		size   = fs.Int("size", 32<<10, "chaos message size in bytes")
-		mout   = fs.String("metrics", "", "write a metrics snapshot after the run: JSON to <path>, Prometheus text to <path>.prom")
-		sout   = fs.String("spans", "", "write the run's span trace: Chrome trace JSON to <path>, folded stacks to <path>.folded, JSONL to <path>.jsonl")
 		outp   = fs.String("o", "", "output path (bench-snapshot: BENCH_fig13.json, wallclock: BENCH_wallclock.json)")
-		par    = fs.Int("parallel", 1, "sweep worker count (0 = all CPUs, 1 = serial); results are identical at any value")
 		cprof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to <path>")
 		mprof  = fs.String("memprofile", "", "write a pprof heap profile after the run to <path>")
 	)
+	cf := bench.RegisterCommonFlags(fs)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
-
-	workers := *par
-	if workers <= 0 {
-		workers = bench.DefaultParallelism()
-	}
-	bench.Parallelism = workers
+	workers := cf.Activate()
 
 	if *cprof != "" {
 		f, err := os.Create(*cprof)
@@ -126,7 +118,7 @@ func main() {
 		if path == "" {
 			path = "BENCH_wallclock.json"
 		}
-		if *par == 1 {
+		if cf.Parallel == 1 {
 			// A serial-vs-serial comparison proves nothing; default the
 			// parallel arm to the acceptance configuration.
 			workers = 4
@@ -140,26 +132,10 @@ func main() {
 		return
 	}
 
-	// -metrics attaches one registry to every environment the run builds.
-	// Metric updates never consume virtual time, so figure outputs are
-	// unchanged (bit-exactness is guarded by the bench tests).
-	var reg *metrics.Registry
-	if *mout != "" {
-		reg = metrics.NewRegistry()
-		bench.DefaultMetrics = reg
-	}
-
-	// -spans attaches one span collector to every environment the run
-	// builds. Like metrics, span recording never consumes virtual time, so
-	// figure outputs are unchanged (guarded bit-exactly by the bench tests).
-	var sc *span.Collector
-	if *sout != "" {
-		sc = span.New(0)
-		bench.DefaultSpans = sc
-	}
-
 	run := func(name string) {
 		switch name {
+		case "policy":
+			figures.PolicyAblation(4, p.a2aPPN(), p.a2aSizes(), *warmup, p.it(2), cf.Policy).Fprint(out)
 		case "fig2":
 			figures.Fig2(p.it(20)).Fprint(out)
 		case "fig3":
@@ -213,24 +189,14 @@ func main() {
 
 	if fig == "all" {
 		for _, name := range []string{"fig2", "fig3", "fig4", "fig5", "fig11", "fig12",
-			"fig13", "fig14", "fig15", "fig16a", "fig16b", "fig16c", "fig17", "ablation", "ext-bf3", "ext-allgather", "chaos"} {
+			"fig13", "fig14", "fig15", "fig16a", "fig16b", "fig16c", "fig17", "ablation", "policy", "ext-bf3", "ext-allgather", "chaos"} {
 			run(name)
 		}
 	} else {
 		run(fig)
 	}
-	if reg != nil {
-		if err := writeMetrics(*mout, reg); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(out, "metrics: %s, %s.prom\n", *mout, *mout)
-	}
-	if sc != nil {
-		if err := writeSpans(*sout, sc); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(out, "spans: %s, %s.folded, %s.jsonl (%d spans, %d dropped)\n",
-			*sout, *sout, *sout, sc.Len(), sc.Dropped())
+	if err := cf.Finish(out); err != nil {
+		fatal(err)
 	}
 }
 
@@ -325,68 +291,6 @@ func printAttribution(out *os.File, sc *span.Collector) {
 	}
 	fmt.Fprintf(out, "\nattribution over %d roots:\n%s", len(roots),
 		span.FormatAttribution(sc.Attribution(roots), total))
-}
-
-// writeSpans exports the collector as Chrome trace JSON to path, folded
-// stacks to path.folded, and JSONL to path.jsonl.
-func writeSpans(path string, sc *span.Collector) error {
-	cf, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := sc.WriteChromeTrace(cf); err != nil {
-		cf.Close()
-		return err
-	}
-	if err := cf.Close(); err != nil {
-		return err
-	}
-	ff, err := os.Create(path + ".folded")
-	if err != nil {
-		return err
-	}
-	if err := sc.WriteFolded(ff); err != nil {
-		ff.Close()
-		return err
-	}
-	if err := ff.Close(); err != nil {
-		return err
-	}
-	jf, err := os.Create(path + ".jsonl")
-	if err != nil {
-		return err
-	}
-	if err := sc.WriteJSONL(jf); err != nil {
-		jf.Close()
-		return err
-	}
-	return jf.Close()
-}
-
-// writeMetrics exports the registry as JSON to path and as Prometheus text
-// exposition format to path.prom.
-func writeMetrics(path string, reg *metrics.Registry) error {
-	snap := reg.Snapshot()
-	jf, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := snap.WriteJSON(jf); err != nil {
-		jf.Close()
-		return err
-	}
-	if err := jf.Close(); err != nil {
-		return err
-	}
-	pf, err := os.Create(path + ".prom")
-	if err != nil {
-		return err
-	}
-	if err := snap.WritePrometheus(pf); err != nil {
-		pf.Close()
-		return err
-	}
-	return pf.Close()
 }
 
 func fatal(err error) {
@@ -499,6 +403,8 @@ figures:
   fig16c   P3DFFT single-phase compute/MPI profile
   fig17    HPL normalized runtime vs memory fraction (~15 min)
   ablation design-choice ablations (caches, mechanism, proxies)
+  policy   offload-policy ablation: fixed datapaths vs adaptive vs measuring
+           (-policy NAME restricts to one bundle)
   ext-bf3  future-work extension: BlueField-3 + NDR platform
   ext-allgather  Iallgather (ref [9] workload) across schemes
   chaos    Ialltoall under fault injection (rates 0, 1e-4, 1e-3, 1e-2)
@@ -511,6 +417,7 @@ figures:
 
 flags: -ppn N -iters N -warmup N -full -memgb N -nb N -seed N -size N
        -parallel N (sweep workers; 0 = all CPUs, 1 = serial; output identical at any value)
+       -policy NAME (offload policy: gvmi|staged|bluesmpi|hostdirect|adaptive|measure)
        -metrics PATH (export run metrics: JSON to PATH, Prometheus to PATH.prom)
        -spans PATH (export span trace: Chrome JSON to PATH, plus PATH.folded, PATH.jsonl)
        -cpuprofile PATH / -memprofile PATH (pprof capture of the run)

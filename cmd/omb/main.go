@@ -44,14 +44,20 @@ func main() {
 		warmup = fs.Int("warmup", 4, "warmup iterations")
 		iters  = fs.Int("iters", 3, "measured iterations")
 	)
+	cf := bench.RegisterCommonFlags(fs)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
-	opt := bench.Options{Nodes: *nodes, PPN: *ppn, Scheme: *scheme}
+	cf.Activate()
+	opt := bench.Options{Nodes: *nodes, PPN: *ppn, Scheme: *scheme, Policy: cf.Policy}
+	backend := *scheme
+	if cf.Policy != "" {
+		backend = "policy=" + cf.Policy
+	}
 	sizes := bench.Pow2Sizes(*minS, *maxS)
 
 	nbc := func(measure func(bench.Options, int, int, int) bench.NBCResult, title string) {
-		fmt.Printf("# OMB %s, %d nodes x %d PPN, scheme=%s (virtual time)\n", title, *nodes, *ppn, *scheme)
+		fmt.Printf("# OMB %s, %d nodes x %d PPN, %s (virtual time)\n", title, *nodes, *ppn, backend)
 		fmt.Printf("%-10s %14s %14s %14s %9s\n", "size", "pure (us)", "compute (us)", "overall (us)", "overlap")
 		for _, size := range sizes {
 			r := measure(opt, size, *warmup, *iters)
@@ -74,10 +80,10 @@ func main() {
 			fmt.Printf("%-10s %12.2f %12.2f %12.2f\n", bench.SizeLabel(row.Size), row.HostHost, row.HostDPU, row.Normalized)
 		}
 	case "pingpong":
-		fmt.Printf("# Nonblocking pingpong (us), scheme=%s\n", *scheme)
+		fmt.Printf("# Nonblocking pingpong (us), %s\n", backend)
 		fmt.Printf("%-10s %12s\n", "size", "latency")
 		for _, size := range sizes {
-			lat := bench.MeasurePingpongNB(bench.Options{Nodes: 2, PPN: 1, Scheme: *scheme}, size, *warmup, *iters)
+			lat := bench.MeasurePingpongNB(bench.Options{Nodes: 2, PPN: 1, Scheme: *scheme, Policy: cf.Policy}, size, *warmup, *iters)
 			fmt.Printf("%-10s %12.2f\n", bench.SizeLabel(size), lat.Micros())
 		}
 	case "ialltoall":
@@ -91,9 +97,15 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if err := cf.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "omb:", err)
+		os.Exit(1)
+	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: omb <latency|bw|pingpong|ialltoall|iallgather|ibcast> [flags]
-flags: -nodes N -ppn N -scheme Proposed|BluesMPI|IntelMPI -min B -max B -warmup N -iters N`)
+flags: -nodes N -ppn N -scheme Proposed|BluesMPI|IntelMPI -min B -max B -warmup N -iters N
+       -policy NAME (offload policy: gvmi|staged|bluesmpi|hostdirect|adaptive|measure; overrides -scheme)
+       -metrics PATH -spans PATH -parallel N`)
 }

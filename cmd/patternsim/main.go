@@ -7,6 +7,7 @@
 //
 //	patternsim -preset ring -np 8 -size 256K -mech gvmi -compute 1ms
 //	patternsim -file pattern.txt -calls 3 -nogroupcache
+//	patternsim -preset alltoall -policy adaptive -calls 4
 //
 // Spec format (one op per line): "<rank> send <dst> <size> [tag]",
 // "<rank> recv <src> <size> [tag]", "<rank> barrier"; # comments.
@@ -18,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/pattern"
 	"repro/internal/sim"
@@ -38,7 +40,9 @@ func main() {
 		calls      = flag.Int("calls", 1, "GroupCall repetitions")
 		verify     = flag.Bool("verify", true, "payload-backed buffers with data checks")
 	)
+	cf := bench.RegisterCommonFlags(flag.CommandLine)
 	flag.Parse()
+	cf.Activate()
 
 	spec, err := loadSpec(*file, *preset, *np, *sizeStr)
 	if err != nil {
@@ -62,18 +66,27 @@ func main() {
 		os.Exit(1)
 	}
 
+	// -policy overrides -mech: the bundle supplies both the core config and
+	// the per-call datapath decision.
 	res, err := pattern.Run(spec, pattern.RunOptions{
 		Nodes: *nodes, PPN: *ppn, Core: cfg,
 		Compute: sim.Time(compute.Nanoseconds()),
 		Calls:   *calls, Backed: *verify,
+		Policy:  cf.Policy,
+		Metrics: cf.Registry(), Spans: cf.Spans(),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "patternsim:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("pattern: %d ranks, %d ops, mechanism=%v regcache=%v groupcache=%v calls=%d\n",
-		res.NRanks, len(spec.Ops), cfg.Mechanism, cfg.RegCaches, cfg.GroupCache, *calls)
+	if cf.Policy != "" {
+		fmt.Printf("pattern: %d ranks, %d ops, policy=%s regcache=%v groupcache=%v calls=%d\n",
+			res.NRanks, len(spec.Ops), cf.Policy, cfg.RegCaches, cfg.GroupCache, *calls)
+	} else {
+		fmt.Printf("pattern: %d ranks, %d ops, mechanism=%v regcache=%v groupcache=%v calls=%d\n",
+			res.NRanks, len(spec.Ops), cfg.Mechanism, cfg.RegCaches, cfg.GroupCache, *calls)
+	}
 	for r, t := range res.PerRank {
 		fmt.Printf("  rank %-3d done at %v\n", r, t)
 	}
@@ -86,6 +99,10 @@ func main() {
 		fmt.Printf("data integrity: %s (%d receives checked)\n", status, res.DataChecks)
 	}
 	fmt.Printf("stats: %v\n", res.Stats)
+	if err := cf.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "patternsim:", err)
+		os.Exit(1)
+	}
 }
 
 func loadSpec(file, preset string, np int, sizeStr string) (*pattern.Spec, error) {

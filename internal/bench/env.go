@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/span"
 )
@@ -32,6 +33,7 @@ type Options struct {
 	Nodes         int
 	PPN           int
 	Scheme        string          // baseline.NameProposed / NameBluesMPI / NameIntelMPI
+	Policy        string          // offload-policy bundle name (overrides Scheme's backend wiring)
 	Backed        bool            // payload-backed buffers (correctness runs)
 	ProxiesPerDPU int             // 0 = cluster default
 	Cluster       *cluster.Config // full override (optional)
@@ -54,6 +56,7 @@ type Env struct {
 	Cl  *cluster.Cluster
 	W   *mpi.World
 	Fw  *core.Framework // nil for host-only schemes
+	Pol *policy.Engine  // nil unless Options.Policy named a bundle
 }
 
 // needsFramework reports whether the scheme runs on DPU proxies.
@@ -91,11 +94,31 @@ func Build(opt Options) *Env {
 	w := mpi.NewWorld(cl, mpi.DefaultConfig())
 	e := &Env{Opt: opt, Cl: cl, W: w}
 
-	if needsFramework(opt.Scheme) || opt.Core != nil {
+	var bundle baseline.Bundle
+	if opt.Policy != "" {
+		var err error
+		bundle, err = baseline.PolicyBundle(opt.Policy)
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		// A fresh policy instance per environment: measuring policies must
+		// not carry learned tables across runs.
+		e.Pol = policy.NewEngine(bundle.New(), ccfg.Metrics)
+	}
+
+	wantFw := needsFramework(opt.Scheme) || opt.Core != nil
+	if opt.Policy != "" {
+		// The bundle decides the substrate; an explicit Core override still
+		// wins on configuration.
+		wantFw = bundle.Framework || opt.Core != nil
+	}
+	if wantFw {
 		var fcfg core.Config
 		switch {
 		case opt.Core != nil:
 			fcfg = *opt.Core
+		case opt.Policy != "":
+			fcfg = bundle.Core()
 		case opt.Scheme == baseline.NameBluesMPI:
 			fcfg = baseline.BluesMPIConfig()
 		default:
@@ -111,21 +134,37 @@ func Build(opt Options) *Env {
 	return e
 }
 
+// backendName labels the backends an environment binds: the policy name
+// when one is active, the scheme otherwise.
+func (e *Env) backendName() string {
+	if e.Opt.Policy != "" {
+		return e.Opt.Policy
+	}
+	return e.Opt.Scheme
+}
+
 // Launch spawns all ranks running fn with the scheme's collective and
 // point-to-point backends bound, then runs the simulation to completion.
 // It returns the final virtual time and panics on deadlock (a bug).
 func (e *Env) Launch(fn func(r *mpi.Rank, ops coll.Ops, p2p coll.P2P)) sim.Time {
 	e.W.Launch(func(r *mpi.Rank) {
+		name := e.backendName()
 		var ops coll.Ops
 		var p2p coll.P2P
-		if e.Fw != nil {
+		switch {
+		case e.Fw != nil && e.Pol != nil:
 			h := e.Fw.Host(r.RankID())
 			h.Bind(r.Proc())
-			ops = coll.NewOffloadOps(e.Opt.Scheme, r, h)
-			p2p = coll.NewOffloadP2P(e.Opt.Scheme, r, h)
-		} else {
-			ops = coll.NewHostOps(e.Opt.Scheme, r)
-			p2p = coll.NewHostP2P(e.Opt.Scheme, r)
+			ops = coll.NewPolicyOps(name, r, h, e.Pol)
+			p2p = coll.NewPolicyP2P(name, r, h, e.Pol)
+		case e.Fw != nil:
+			h := e.Fw.Host(r.RankID())
+			h.Bind(r.Proc())
+			ops = coll.NewOffloadOps(name, r, h)
+			p2p = coll.NewOffloadP2P(name, r, h)
+		default:
+			ops = coll.NewHostOps(name, r)
+			p2p = coll.NewHostP2P(name, r)
 		}
 		fn(r, ops, p2p)
 	})

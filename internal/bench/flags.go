@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/metrics"
+	"repro/internal/span"
+)
+
+// CommonFlags are the flags every CLI in this repo shares (-metrics, -spans,
+// -parallel, -policy). One registration helper keeps names, defaults, and
+// help text identical across offloadbench, omb, and patternsim.
+type CommonFlags struct {
+	MetricsPath string
+	SpansPath   string
+	Policy      string
+	Parallel    int
+
+	reg *metrics.Registry
+	sc  *span.Collector
+}
+
+// RegisterCommonFlags registers the shared flag set on fs.
+func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
+	cf := &CommonFlags{}
+	fs.StringVar(&cf.MetricsPath, "metrics", "",
+		"write a metrics snapshot after the run: JSON to <path>, Prometheus text to <path>.prom")
+	fs.StringVar(&cf.SpansPath, "spans", "",
+		"write the run's span trace: Chrome trace JSON to <path>, folded stacks to <path>.folded, JSONL to <path>.jsonl")
+	fs.IntVar(&cf.Parallel, "parallel", 1,
+		"sweep worker count (0 = all CPUs, 1 = serial); results are identical at any value")
+	fs.StringVar(&cf.Policy, "policy", "",
+		"offload policy: "+strings.Join(baseline.PolicyNames(), " | ")+" (empty = scheme default)")
+	return cf
+}
+
+// Activate applies the parsed flags to the bench globals — Parallelism plus
+// the default metrics registry / span collector attached to every
+// environment — and returns the installed worker count. Neither attachment
+// consumes virtual time, so results are unchanged.
+func (cf *CommonFlags) Activate() int {
+	workers := cf.Parallel
+	if workers <= 0 {
+		workers = DefaultParallelism()
+	}
+	Parallelism = workers
+	if cf.MetricsPath != "" {
+		cf.reg = metrics.NewRegistry()
+		DefaultMetrics = cf.reg
+	}
+	if cf.SpansPath != "" {
+		cf.sc = span.New(0)
+		DefaultSpans = cf.sc
+	}
+	return workers
+}
+
+// Registry returns the registry Activate installed (nil without -metrics).
+func (cf *CommonFlags) Registry() *metrics.Registry { return cf.reg }
+
+// Spans returns the collector Activate installed (nil without -spans).
+func (cf *CommonFlags) Spans() *span.Collector { return cf.sc }
+
+// Finish writes the exports the flags requested and prints one summary line
+// per export to out.
+func (cf *CommonFlags) Finish(out io.Writer) error {
+	if cf.reg != nil {
+		if err := WriteMetricsFiles(cf.MetricsPath, cf.reg); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics: %s, %s.prom\n", cf.MetricsPath, cf.MetricsPath)
+	}
+	if cf.sc != nil {
+		if err := WriteSpanFiles(cf.SpansPath, cf.sc); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "spans: %s, %s.folded, %s.jsonl (%d spans, %d dropped)\n",
+			cf.SpansPath, cf.SpansPath, cf.SpansPath, cf.sc.Len(), cf.sc.Dropped())
+	}
+	return nil
+}
+
+// WriteMetricsFiles exports the registry as JSON to path and as Prometheus
+// text exposition format to path.prom.
+func WriteMetricsFiles(path string, reg *metrics.Registry) error {
+	snap := reg.Snapshot()
+	jf, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	pf, err := os.Create(path + ".prom")
+	if err != nil {
+		return err
+	}
+	if err := snap.WritePrometheus(pf); err != nil {
+		pf.Close()
+		return err
+	}
+	return pf.Close()
+}
+
+// WriteSpanFiles exports the collector as Chrome trace JSON to path, folded
+// stacks to path.folded, and JSONL to path.jsonl.
+func WriteSpanFiles(path string, sc *span.Collector) error {
+	cf, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sc.WriteChromeTrace(cf); err != nil {
+		cf.Close()
+		return err
+	}
+	if err := cf.Close(); err != nil {
+		return err
+	}
+	ff, err := os.Create(path + ".folded")
+	if err != nil {
+		return err
+	}
+	if err := sc.WriteFolded(ff); err != nil {
+		ff.Close()
+		return err
+	}
+	if err := ff.Close(); err != nil {
+		return err
+	}
+	jf, err := os.Create(path + ".jsonl")
+	if err != nil {
+		return err
+	}
+	if err := sc.WriteJSONL(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	return jf.Close()
+}

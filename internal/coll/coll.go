@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/datapath"
 	"repro/internal/mem"
 	"repro/internal/mpi"
 	"repro/internal/sim"
@@ -95,6 +96,7 @@ type OffloadOps struct {
 	name string
 	r    *mpi.Rank
 	h    *core.Host
+	path datapath.Kind // datapath the recorded groups execute on
 
 	// SegmentSize chunks large Ibcast payloads through the ring so that
 	// forwarding pipelines (0 = no segmentation).
@@ -109,18 +111,27 @@ type OffloadOps struct {
 
 type collKey struct {
 	kind string
+	path datapath.Kind
 	slot int
 	a, b mem.Addr
 	size int
 	root int
 }
 
-// NewOffloadOps wraps a rank and its framework host handle.
+// NewOffloadOps wraps a rank and its framework host handle; groups run on
+// the framework's default datapath.
 func NewOffloadOps(name string, r *mpi.Rank, h *core.Host) *OffloadOps {
+	return NewOffloadOpsVia(name, r, h, h.DefaultPath())
+}
+
+// NewOffloadOpsVia is NewOffloadOps with an explicit datapath for every
+// group the backend records (the policy layer builds one per chosen path).
+func NewOffloadOpsVia(name string, r *mpi.Rank, h *core.Host, kind datapath.Kind) *OffloadOps {
 	return &OffloadOps{
 		name:        name,
 		r:           r,
 		h:           h,
+		path:        kind,
 		SegmentSize: 256 << 10,
 		MaxSegments: 16,
 		cache:       make(map[collKey]*core.GroupRequest),
@@ -159,11 +170,11 @@ func (o *OffloadOps) rootSpan(name string, size int) span.ID {
 func (o *OffloadOps) Ialltoall(slot int, sendAddr, recvAddr mem.Addr, per int) Request {
 	np, me := o.r.Size(), o.r.RankID()
 	root := o.rootSpan("ialltoall", per)
-	key := collKey{kind: "a2a", slot: slot, a: sendAddr, b: recvAddr, size: per}
+	key := collKey{kind: "a2a", path: o.path, slot: slot, a: sendAddr, b: recvAddr, size: per}
 	g, ok := o.cache[key]
 	if !ok {
 		tag := tagFor(slot)
-		g = o.h.GroupStart()
+		g = o.h.GroupStartVia(o.path)
 		for i := 1; i < np; i++ {
 			src := (me - i + np) % np
 			g.Recv(recvAddr+mem.Addr(src*per), per, src, tag)
@@ -193,11 +204,11 @@ func (o *OffloadOps) Ialltoall(slot int, sendAddr, recvAddr mem.Addr, per int) R
 func (o *OffloadOps) IalltoallOn(c *mpi.Comm, slot int, sendAddr, recvAddr mem.Addr, per int) Request {
 	np, me := c.Size(), c.RankID()
 	root := o.rootSpan("ialltoall", per)
-	key := collKey{kind: "a2ac", slot: slot, a: sendAddr, b: recvAddr, size: per}
+	key := collKey{kind: "a2ac", path: o.path, slot: slot, a: sendAddr, b: recvAddr, size: per}
 	g, ok := o.cache[key]
 	if !ok {
 		tag := tagFor(slot)
-		g = o.h.GroupStart()
+		g = o.h.GroupStartVia(o.path)
 		for i := 1; i < np; i++ {
 			src := (me - i + np) % np
 			g.Recv(recvAddr+mem.Addr(src*per), per, c.World(src), tag)
@@ -224,7 +235,7 @@ func (o *OffloadOps) IalltoallOn(c *mpi.Comm, slot int, sendAddr, recvAddr mem.A
 func (o *OffloadOps) Ibcast(slot int, addr mem.Addr, size, root int) Request {
 	np, me := o.r.Size(), o.r.RankID()
 	rs := o.rootSpan("ibcast", size)
-	key := collKey{kind: "bcast", slot: slot, a: addr, size: size, root: root}
+	key := collKey{kind: "bcast", path: o.path, slot: slot, a: addr, size: size, root: root}
 	g, ok := o.cache[key]
 	if !ok {
 		tag := tagFor(slot)
@@ -239,7 +250,7 @@ func (o *OffloadOps) Ibcast(slot int, addr mem.Addr, size, root int) Request {
 		}
 		left := (me - 1 + np) % np
 		right := (me + 1) % np
-		g = o.h.GroupStart()
+		g = o.h.GroupStartVia(o.path)
 		if np > 1 {
 			for off := 0; off < size; off += seg {
 				n := min(seg, size-off)
@@ -269,13 +280,13 @@ func (o *OffloadOps) Ibcast(slot int, addr mem.Addr, size, root int) Request {
 func (o *OffloadOps) Iallgather(slot int, sendAddr, recvAddr mem.Addr, per int) Request {
 	np, me := o.r.Size(), o.r.RankID()
 	root := o.rootSpan("iallgather", per)
-	key := collKey{kind: "ag", slot: slot, a: sendAddr, b: recvAddr, size: per}
+	key := collKey{kind: "ag", path: o.path, slot: slot, a: sendAddr, b: recvAddr, size: per}
 	g, ok := o.cache[key]
 	if !ok {
 		tag := tagFor(slot)
 		right := (me + 1) % np
 		left := (me - 1 + np) % np
-		g = o.h.GroupStart()
+		g = o.h.GroupStartVia(o.path)
 		for step := 0; step < np-1; step++ {
 			blkSend := (me - step + np) % np
 			blkRecv := (me - step - 1 + np) % np

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/datapath"
 	"repro/internal/fault"
 	"repro/internal/gvmi"
 	"repro/internal/regcache"
@@ -46,12 +47,18 @@ const (
 	MechStaging
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. It is exhaustive: out-of-range values
+// (a misconfigured policy table, a corrupted config) report as unknown(n)
+// instead of silently claiming to be gvmi.
 func (m Mechanism) String() string {
-	if m == MechStaging {
+	switch m {
+	case MechGVMI:
+		return "gvmi"
+	case MechStaging:
 		return "staging"
+	default:
+		return fmt.Sprintf("unknown(%d)", int(m))
 	}
-	return "gvmi"
 }
 
 // Config tunes the framework.
@@ -161,6 +168,16 @@ func (fw *Framework) hbTimeout() sim.Time {
 		return f.HeartbeatTimeout
 	}
 	return fault.DefaultConfig(0).HeartbeatTimeout
+}
+
+// DefaultPath maps the construction-time mechanism onto a datapath kind —
+// the path every operation takes unless the caller picks one per call
+// (SendOffloadVia / GroupStartVia, normally driven by a policy engine).
+func (fw *Framework) DefaultPath() datapath.Kind {
+	if fw.cfg.Mechanism == MechStaging {
+		return datapath.KindStaged
+	}
+	return datapath.KindCrossGVMI
 }
 
 // Cluster returns the underlying cluster.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/datapath"
 	"repro/internal/gvmi"
 	"repro/internal/mem"
 	"repro/internal/span"
@@ -33,6 +34,7 @@ import (
 type GroupRequest struct {
 	h     *Host
 	id    int
+	path  datapath.Kind // datapath every send entry executes on
 	ops   []GroupOp
 	ended bool
 
@@ -76,13 +78,27 @@ type GroupOp struct {
 	Tag  int
 }
 
-// GroupStart begins recording a new pattern (Group_Offload_start).
+// GroupStart begins recording a new pattern (Group_Offload_start) on the
+// framework's default datapath.
 func (h *Host) GroupStart() *GroupRequest {
-	g := &GroupRequest{h: h, id: h.nextGroup}
+	return h.GroupStartVia(h.fw.DefaultPath())
+}
+
+// GroupStartVia begins recording a new pattern whose send entries execute on
+// the given proxy datapath. The request's path is fixed at recording time:
+// it is baked into the wire entries shipped to the DPU, so replays reuse it.
+func (h *Host) GroupStartVia(kind datapath.Kind) *GroupRequest {
+	if !kind.Valid() || kind == datapath.KindHostDirect {
+		panic(fmt.Sprintf("core: GroupStartVia on non-proxy path %v", kind))
+	}
+	g := &GroupRequest{h: h, id: h.nextGroup, path: kind}
 	h.nextGroup++
 	h.groups[g.id] = g
 	return g
 }
+
+// Path returns the datapath this request's send entries execute on.
+func (g *GroupRequest) Path() datapath.Kind { return g.path }
 
 // Done reports whether all issued calls of this request have completed.
 func (g *GroupRequest) Done() bool { return g.doneSeq >= g.callSeq }
@@ -145,6 +161,7 @@ func (h *Host) GroupCallCtx(g *GroupRequest, parent span.ID) {
 		// so the critical path descends into DPU/HCA/wire work.
 		gc := sp.Start(parent, span.ClassRank, h.entity(), "core", "group_call")
 		sp.AttrInt(gc, "call", int64(g.callSeq))
+		sp.AttrStr(gc, "path", g.path.String())
 		if g.rootByCall == nil {
 			g.rootByCall = make(map[int]span.ID)
 		}
@@ -205,9 +222,10 @@ func (h *Host) GroupCallCtx(g *GroupRequest, parent span.ID) {
 // buffer, push receive-entry metadata to the source hosts, and match each
 // send entry with the metadata gathered from its destination.
 func (h *Host) buildWire(g *GroupRequest, px *Proxy) []wireOp {
-	// 1. Register buffers: send buffers through the GVMI cache (or IB cache
-	//    for the staging mechanism), receive buffers through the IB cache —
-	//    and push each receive entry's metadata to its source host.
+	// 1. Register buffers: send buffers as the request's datapath demands
+	//    (GVMI cache for cross-GVMI, IB cache for staged), receive buffers
+	//    through the IB cache — and push each receive entry's metadata to its
+	//    source host.
 	type sendReg struct {
 		mkey gvmi.MKeyInfo
 		rkey verbs.Key
@@ -217,10 +235,13 @@ func (h *Host) buildWire(g *GroupRequest, px *Proxy) []wireOp {
 		switch op.Type {
 		case OpSend:
 			var sr sendReg
-			if h.fw.cfg.Mechanism == MechGVMI {
+			switch datapath.ForKind(g.path).SrcReg() {
+			case datapath.RegGVMI:
 				sr.mkey = h.gvmiRegister(px, op.Addr, op.Size)
-			} else {
+			case datapath.RegIB:
 				sr.rkey = h.ibRegister(op.Addr, op.Size).RKey()
+			default:
+				panic(fmt.Sprintf("core: group send on non-proxy path %v", g.path))
 			}
 			sendRegs[i] = sr
 		case OpRecv:
@@ -240,7 +261,7 @@ func (h *Host) buildWire(g *GroupRequest, px *Proxy) []wireOp {
 	//    receive entry gathered from its destination (rank/tag matching).
 	entries := make([]wireOp, len(g.ops))
 	for i, op := range g.ops {
-		w := wireOp{Type: op.Type, Size: op.Size, Tag: op.Tag}
+		w := wireOp{Type: op.Type, Size: op.Size, Tag: op.Tag, Path: g.path}
 		switch op.Type {
 		case OpSend:
 			w.SrcAddr, w.Dst = op.Addr, op.Peer

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/datapath"
 	"repro/internal/sim"
 	"repro/internal/span"
 	"repro/internal/verbs"
@@ -210,8 +211,10 @@ func (px *Proxy) advanceGroup(g *proxyGroup) bool {
 	return true
 }
 
-// postGroupSend issues the RDMA for one send entry using the configured
-// mechanism, and notifies the destination's proxy on completion.
+// postGroupSend issues the RDMA for one send entry on the datapath the
+// entry was recorded with, and notifies the destination's proxy on
+// completion. A cross-registration returned by the datapath is memoized per
+// entry when the group cache is on, so replays skip even the cache lookup.
 func (px *Proxy) postGroupSend(g *proxyGroup, idx int) {
 	e := &g.entries[idx]
 	callNum := g.finishedSeq + 1 // the call currently executing
@@ -241,59 +244,15 @@ func (px *Proxy) postGroupSend(g *proxyGroup, idx int) {
 		tr.Add(px.proc.Now(), fmt.Sprintf("proxy%d", px.global), "group-send",
 			fmt.Sprintf("host%d->%d size=%d", g.host, e.Dst, e.Size))
 	}
-	if px.fw.cfg.Mechanism == MechGVMI {
-		mkey2 := g.cachedMRs[idx]
-		if mkey2 == nil {
-			mkey2 = px.crossReg(g.host, e.MKey, exec)
-			if px.fw.cfg.GroupCache {
-				g.cachedMRs[idx] = mkey2
-			}
-		}
-		px.RDMAWrites++
-		err := px.ctx.PostWrite(px.proc, verbs.WriteOp{
-			LocalKey: mkey2.LKey(), LocalAddr: e.SrcAddr,
-			RemoteKey: e.DstRKey, RemoteAddr: e.DstAddr,
-			Size:             e.Size,
-			Span:             exec,
-			OnRemoteComplete: func(sim.Time) { px.later(notify) },
-		})
-		if err != nil {
-			panic(fmt.Sprintf("core: group GVMI write: %v", err))
-		}
-		return
-	}
-
-	// Staging mechanism: host -> DPU staging -> destination host.
-	sb := px.getStage(e.Size, exec)
-	px.StagedOps++
-	px.RDMAReads++
-	err := px.ctx.PostRead(px.proc, verbs.ReadOp{
-		LocalKey: sb.mr.LKey(), LocalAddr: sb.buf.Addr(),
-		RemoteKey: e.SrcRKey, RemoteAddr: e.SrcAddr,
-		Size: e.Size,
+	dp := datapath.ForKind(e.Path)
+	mr := dp.Execute(px, datapath.Transfer{
+		SrcHost: g.host, DstRank: e.Dst, Size: e.Size,
+		MKey: e.MKey, Cached: g.cachedMRs[idx],
+		SrcAddr: e.SrcAddr, SrcRKey: e.SrcRKey,
+		DstAddr: e.DstAddr, DstRKey: e.DstRKey,
 		Span: exec,
-		OnComplete: func(sim.Time) {
-			px.later(func() {
-				px.RDMAWrites++
-				err := px.ctx.PostWrite(px.proc, verbs.WriteOp{
-					LocalKey: sb.mr.LKey(), LocalAddr: sb.buf.Addr(),
-					RemoteKey: e.DstRKey, RemoteAddr: e.DstAddr,
-					Size: e.Size,
-					Span: exec,
-					OnRemoteComplete: func(sim.Time) {
-						px.later(func() {
-							px.putStage(sb)
-							notify()
-						})
-					},
-				})
-				if err != nil {
-					panic(fmt.Sprintf("core: group staged write: %v", err))
-				}
-			})
-		},
-	})
-	if err != nil {
-		panic(fmt.Sprintf("core: group staged read: %v", err))
+	}, notify)
+	if mr != nil && px.fw.cfg.GroupCache {
+		g.cachedMRs[idx] = mr
 	}
 }

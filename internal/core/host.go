@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/datapath"
 	"repro/internal/gvmi"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -145,10 +146,22 @@ func (h *Host) ibRegister(addr mem.Addr, size int) *verbs.MR {
 	return mr
 }
 
+// DefaultPath returns the datapath operations take when no per-call path
+// is given (the framework's construction-time mechanism).
+func (h *Host) DefaultPath() datapath.Kind { return h.fw.DefaultPath() }
+
 // SendOffload offloads a nonblocking send of [addr, addr+size) to rank dst
-// (Send_Offload): the host registers the source buffer for the chosen
-// mechanism and hands an RTS to its proxy; the proxy performs the transfer.
+// (Send_Offload) on the framework's default datapath.
 func (h *Host) SendOffload(addr mem.Addr, size, dst, tag int) *OffloadRequest {
+	return h.SendOffloadVia(h.fw.DefaultPath(), addr, size, dst, tag)
+}
+
+// SendOffloadVia is SendOffload on an explicitly chosen datapath (policy
+// engines decide per operation): the host registers the source buffer as
+// the path requires and hands an RTS to its proxy; the proxy performs the
+// transfer on that path. The kind must be proxy-executable — HostDirect
+// transfers go through the MPI library, not this framework.
+func (h *Host) SendOffloadVia(kind datapath.Kind, addr mem.Addr, size, dst, tag int) *OffloadRequest {
 	px := h.fw.proxyFor(h.rank)
 	req := h.newReq()
 	if sp := h.spans(); sp.Enabled() {
@@ -156,6 +169,7 @@ func (h *Host) SendOffload(addr mem.Addr, size, dst, tag int) *OffloadRequest {
 		sp.AttrInt(req.span, "dst", int64(dst))
 		sp.AttrInt(req.span, "size", int64(size))
 		sp.AttrInt(req.span, "tag", int64(tag))
+		sp.AttrStr(req.span, "path", kind.String())
 		h.curSpan = req.span
 		defer func() { h.curSpan = 0 }()
 	}
@@ -168,12 +182,14 @@ func (h *Host) SendOffload(addr mem.Addr, size, dst, tag int) *OffloadRequest {
 			return req
 		}
 	}
-	pay := &rtsMsg{Src: h.rank, Dst: dst, Tag: tag, Size: size, SrcReqID: req.id, Span: req.span}
-	if h.fw.cfg.Mechanism == MechGVMI {
+	pay := &rtsMsg{Src: h.rank, Dst: dst, Tag: tag, Size: size, SrcReqID: req.id, Path: kind, SrcAddr: addr, Span: req.span}
+	switch datapath.ForKind(kind).SrcReg() {
+	case datapath.RegGVMI:
 		pay.MKey = h.gvmiRegister(px, addr, size)
-	} else {
-		mr := h.ibRegister(addr, size)
-		pay.SrcAddr, pay.SrcRKey = addr, mr.RKey()
+	case datapath.RegIB:
+		pay.SrcRKey = h.ibRegister(addr, size).RKey()
+	default:
+		panic(fmt.Sprintf("core: SendOffloadVia on non-proxy path %v", kind))
 	}
 	h.ctx.PostSend(h.proc, px.ctx, &verbs.Packet{
 		Kind: "rts", Size: h.fw.cfg.CtrlSize + gvmi.WireSize, Payload: pay, Span: req.span,

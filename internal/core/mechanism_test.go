@@ -1,0 +1,23 @@
+package core
+
+import "testing"
+
+// The pre-refactor String() fell through to "gvmi" for any unrecognized
+// value, so a corrupted config printed as the proposed mechanism. It must
+// be exhaustive.
+func TestMechanismStringExhaustive(t *testing.T) {
+	cases := []struct {
+		m    Mechanism
+		want string
+	}{
+		{MechGVMI, "gvmi"},
+		{MechStaging, "staging"},
+		{Mechanism(7), "unknown(7)"},
+		{Mechanism(-3), "unknown(-3)"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("Mechanism(%d).String() = %q, want %q", int(c.m), got, c.want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/datapath"
 	"repro/internal/gvmi"
 	"repro/internal/mem"
 	"repro/internal/span"
@@ -16,10 +17,13 @@ type rtsMsg struct {
 	Src, Dst, Tag int
 	Size          int
 	SrcReqID      int64
-	// GVMI mechanism: the host-registered mkey for cross-registration.
+	// Path selects the datapath the proxy executes this transfer on. The
+	// field rides inside CtrlSize, so wire cost is unchanged.
+	Path datapath.Kind
+	// CrossGVMI path: the host-registered mkey for cross-registration.
 	MKey gvmi.MKeyInfo
-	// Staging mechanism: plain IB rkey so the proxy can RDMA-read the
-	// source into DPU memory.
+	// Source address; for the staged path also the plain IB rkey so the
+	// proxy can RDMA-read the source into DPU memory.
 	SrcAddr mem.Addr
 	SrcRKey verbs.Key
 
@@ -74,12 +78,16 @@ type wireOp struct {
 	Type OpType
 	Size int
 	Tag  int
+	// Path is the datapath the proxy executes send entries on (set from
+	// the group request's path at gather time; rides inside
+	// GroupOpWireSize, so wire cost is unchanged).
+	Path datapath.Kind
 
 	// Send entries.
 	SrcAddr  mem.Addr
 	Dst      int
-	MKey     gvmi.MKeyInfo // GVMI mechanism
-	SrcRKey  verbs.Key     // staging mechanism
+	MKey     gvmi.MKeyInfo // CrossGVMI path
+	SrcRKey  verbs.Key     // staged path
 	DstAddr  mem.Addr      // matched receive-entry info
 	DstRKey  verbs.Key
 	DstGroup int

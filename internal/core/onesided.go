@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/datapath"
 	"repro/internal/gvmi"
 	"repro/internal/mem"
-	"repro/internal/sim"
 	"repro/internal/span"
 	"repro/internal/verbs"
 )
@@ -138,20 +138,15 @@ func (h *Host) GetOffload(dst Window, dstOff int, src Window, srcOff, n int) *Of
 	return req
 }
 
-// handleOneSided executes a window-to-window transfer on the proxy.
+// handleOneSided executes a window-to-window transfer on the proxy. Windows
+// publish cross-GVMI mkeys, so one-sided transfers always run the CrossGVMI
+// datapath — the owner's CPU never participates.
 func (px *Proxy) handleOneSided(m *oneSidedMsg) {
-	mkey2 := px.crossReg(m.SrcHost, m.SrcMKey, m.Span)
-	px.RDMAWrites++
-	err := px.ctx.PostWrite(px.proc, verbs.WriteOp{
-		LocalKey: mkey2.LKey(), LocalAddr: m.SrcAddr,
-		RemoteKey: m.DstKey, RemoteAddr: m.DstAddr,
-		Size: m.Size,
+	datapath.CrossGVMI{}.Execute(px, datapath.Transfer{
+		SrcHost: m.SrcHost, DstRank: m.Initiator, Size: m.Size,
+		MKey:    m.SrcMKey,
+		SrcAddr: m.SrcAddr,
+		DstAddr: m.DstAddr, DstRKey: m.DstKey,
 		Span: m.Span,
-		OnRemoteComplete: func(simTime sim.Time) {
-			px.later(func() { px.sendFIN(m.Initiator, m.ReqID, m.Span) })
-		},
-	})
-	if err != nil {
-		panic(fmt.Sprintf("core: one-sided write: %v", err))
-	}
+	}, func() { px.sendFIN(m.Initiator, m.ReqID, m.Span) })
 }

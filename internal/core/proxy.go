@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/datapath"
 	"repro/internal/gvmi"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -301,14 +302,18 @@ func (px *Proxy) handle(pkt *verbs.Packet) {
 	}
 }
 
-// transfer moves one matched basic-primitive pair using the configured
-// mechanism, then FINs both hosts.
+// transfer moves one matched basic-primitive pair on the datapath the
+// sender chose (carried in the RTS), then FINs both hosts.
 func (px *Proxy) transfer(pr pairMsg) {
-	if px.fw.cfg.Mechanism == MechGVMI {
-		px.transferGVMI(pr)
-	} else {
-		px.transferStaged(pr)
-	}
+	dp := datapath.ForKind(pr.rts.Path)
+	ts := px.transferSpan(pr, dp.Kind().String())
+	dp.Execute(px, datapath.Transfer{
+		SrcHost: pr.rts.Src, DstRank: pr.rtr.Dst, Size: pr.rts.Size,
+		MKey:    pr.rts.MKey,
+		SrcAddr: pr.rts.SrcAddr, SrcRKey: pr.rts.SrcRKey,
+		DstAddr: pr.rtr.DstAddr, DstRKey: pr.rtr.RKey,
+		Span: ts, EndSpan: true, Trace: true,
+	}, func() { px.finish(pr) })
 }
 
 // crossReg cross-registers a host mkey (through the cache when enabled,
@@ -346,75 +351,6 @@ func (px *Proxy) transferSpan(pr pairMsg, mech string) span.ID {
 	sp.AttrInt(ts, "size", int64(pr.rts.Size))
 	sp.AttrStr(ts, "mech", mech)
 	return ts
-}
-
-// transferGVMI: cross-register the source host buffer and RDMA-write it
-// straight into the destination host's memory (Figure 6, GVMI path).
-func (px *Proxy) transferGVMI(pr pairMsg) {
-	ts := px.transferSpan(pr, "gvmi")
-	mkey2 := px.crossReg(pr.rts.Src, pr.rts.MKey, ts)
-	px.RDMAWrites++
-	if tr := px.fw.cl.Trace; tr.Enabled() {
-		tr.Add(px.proc.Now(), fmt.Sprintf("proxy%d", px.global), "gvmi-write",
-			fmt.Sprintf("%d->%d size=%d", pr.rts.Src, pr.rtr.Dst, pr.rts.Size))
-	}
-	err := px.ctx.PostWrite(px.proc, verbs.WriteOp{
-		LocalKey: mkey2.LKey(), LocalAddr: pr.rts.MKey.Addr,
-		RemoteKey: pr.rtr.RKey, RemoteAddr: pr.rtr.DstAddr,
-		Size: pr.rts.Size,
-		Span: ts,
-		OnRemoteComplete: func(at sim.Time) {
-			px.spans().EndAt(ts, at)
-			px.later(func() { px.finish(pr) })
-		},
-	})
-	if err != nil {
-		panic(fmt.Sprintf("core: proxy %d GVMI write: %v", px.global, err))
-	}
-}
-
-// transferStaged: RDMA-read the source into DPU staging memory, then
-// RDMA-write from the staging buffer to the destination (Figure 6, staged
-// path — the extra hop the GVMI design removes).
-func (px *Proxy) transferStaged(pr pairMsg) {
-	ts := px.transferSpan(pr, "staged")
-	sb := px.getStage(pr.rts.Size, ts)
-	px.StagedOps++
-	px.RDMAReads++
-	if tr := px.fw.cl.Trace; tr.Enabled() {
-		tr.Add(px.proc.Now(), fmt.Sprintf("proxy%d", px.global), "stage-read",
-			fmt.Sprintf("%d->%d size=%d", pr.rts.Src, pr.rtr.Dst, pr.rts.Size))
-	}
-	err := px.ctx.PostRead(px.proc, verbs.ReadOp{
-		LocalKey: sb.mr.LKey(), LocalAddr: sb.buf.Addr(),
-		RemoteKey: pr.rts.SrcRKey, RemoteAddr: pr.rts.SrcAddr,
-		Size: pr.rts.Size,
-		Span: ts,
-		OnComplete: func(sim.Time) {
-			px.later(func() {
-				px.RDMAWrites++
-				err := px.ctx.PostWrite(px.proc, verbs.WriteOp{
-					LocalKey: sb.mr.LKey(), LocalAddr: sb.buf.Addr(),
-					RemoteKey: pr.rtr.RKey, RemoteAddr: pr.rtr.DstAddr,
-					Size: pr.rts.Size,
-					Span: ts,
-					OnRemoteComplete: func(at sim.Time) {
-						px.spans().EndAt(ts, at)
-						px.later(func() {
-							px.putStage(sb)
-							px.finish(pr)
-						})
-					},
-				})
-				if err != nil {
-					panic(fmt.Sprintf("core: staged write: %v", err))
-				}
-			})
-		},
-	})
-	if err != nil {
-		panic(fmt.Sprintf("core: staged read: %v", err))
-	}
 }
 
 // finish sends the FIN packets to both hosts of a completed pair. Each FIN

@@ -1,0 +1,69 @@
+package datapath
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{KindCrossGVMI, "gvmi"},
+		{KindStaged, "staged"},
+		{KindHostDirect, "hostdirect"},
+		{Kind(7), "unknown(7)"},
+		{Kind(-1), "unknown(-1)"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(c.k), got, c.want)
+		}
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	for _, k := range Kinds() {
+		if !k.Valid() {
+			t.Errorf("%v.Valid() = false", k)
+		}
+	}
+	for _, k := range []Kind{-1, numKinds, 42} {
+		if k.Valid() {
+			t.Errorf("Kind(%d).Valid() = true", int(k))
+		}
+	}
+}
+
+func TestForKindRoundTrip(t *testing.T) {
+	wantReg := map[Kind]SrcReg{
+		KindCrossGVMI:  RegGVMI,
+		KindStaged:     RegIB,
+		KindHostDirect: RegNone,
+	}
+	for _, k := range Kinds() {
+		dp := ForKind(k)
+		if dp.Kind() != k {
+			t.Errorf("ForKind(%v).Kind() = %v", k, dp.Kind())
+		}
+		if dp.SrcReg() != wantReg[k] {
+			t.Errorf("ForKind(%v).SrcReg() = %v, want %v", k, dp.SrcReg(), wantReg[k])
+		}
+	}
+}
+
+func TestForKindPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForKind(invalid) did not panic")
+		}
+	}()
+	ForKind(Kind(99))
+}
+
+func TestHostDirectExecutePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HostDirect.Execute did not panic")
+		}
+	}()
+	HostDirect{}.Execute(nil, Transfer{}, nil)
+}

@@ -1,0 +1,26 @@
+package mpi
+
+import (
+	"repro/internal/datapath"
+	"repro/internal/mem"
+)
+
+// Direct exposes a rank's nonblocking point-to-point operations behind the
+// datapath.HostPoster interface: the HostDirect datapath posts through the
+// host MPI library instead of a DPU proxy.
+type Direct struct{ r *Rank }
+
+var _ datapath.HostPoster = Direct{}
+
+// Direct returns the rank's HostPoster view.
+func (r *Rank) Direct() Direct { return Direct{r: r} }
+
+// Isend implements datapath.HostPoster.
+func (d Direct) Isend(addr mem.Addr, size, dst, tag int) datapath.Pending {
+	return d.r.Isend(addr, size, dst, tag)
+}
+
+// Irecv implements datapath.HostPoster.
+func (d Direct) Irecv(addr mem.Addr, size, src, tag int) datapath.Pending {
+	return d.r.Irecv(addr, size, src, tag)
+}

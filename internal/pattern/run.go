@@ -3,10 +3,15 @@ package pattern
 import (
 	"fmt"
 
+	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/datapath"
 	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/sim"
+	"repro/internal/span"
 )
 
 // RunOptions configure pattern execution.
@@ -17,6 +22,16 @@ type RunOptions struct {
 	Compute sim.Time // overlapped compute per call on every rank
 	Calls   int      // GroupCall repetitions (cache behaviour shows at >1)
 	Backed  bool     // payload-backed buffers (verifies data integrity)
+
+	// Policy names an offload-policy bundle (baseline.PolicyBundle): the
+	// bundle's core config replaces Core and its policy picks the datapath
+	// per call. Patterns always run on proxies, so "hostdirect" is invalid.
+	Policy string
+
+	// Metrics / Spans attach observability to the run's cluster (both are
+	// free in virtual time).
+	Metrics *metrics.Registry
+	Spans   *span.Collector
 }
 
 // RunResult reports one execution.
@@ -34,6 +49,24 @@ func Run(spec *Spec, opt RunOptions) (*RunResult, error) {
 	if opt.Calls <= 0 {
 		opt.Calls = 1
 	}
+	var eng *policy.Engine
+	maxSize := 0 // spec-global, so every rank decides from the same size
+	if opt.Policy != "" {
+		bundle, err := baseline.PolicyBundle(opt.Policy)
+		if err != nil {
+			return nil, err
+		}
+		if !bundle.Framework {
+			return nil, fmt.Errorf("pattern: policy %q needs no proxies; patterns always run on proxies", opt.Policy)
+		}
+		opt.Core = bundle.Core()
+		eng = policy.NewEngine(bundle.New(), opt.Metrics)
+		for _, op := range spec.Ops {
+			if op.Size > maxSize {
+				maxSize = op.Size
+			}
+		}
+	}
 	ppn := opt.PPN
 	if ppn <= 0 {
 		ppn = 8
@@ -44,6 +77,8 @@ func Run(spec *Spec, opt RunOptions) (*RunResult, error) {
 	}
 	ccfg := cluster.DefaultConfig(nodes, ppn)
 	ccfg.BackedPayload = opt.Backed
+	ccfg.Metrics = opt.Metrics
+	ccfg.Spans = opt.Spans
 	cl := cluster.New(ccfg)
 	if ccfg.NP() < spec.NRanks {
 		return nil, fmt.Errorf("pattern: %d ranks need more than %d nodes x %d ppn", spec.NRanks, nodes, ppn)
@@ -63,7 +98,6 @@ func Run(spec *Spec, opt RunOptions) (*RunResult, error) {
 		cl.K.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
 			h.Bind(p)
 			bufs := make([]*mem.Buffer, len(ops))
-			g := h.GroupStart()
 			for i, op := range ops {
 				switch op.Type {
 				case core.OpSend:
@@ -71,21 +105,56 @@ func Run(spec *Spec, opt RunOptions) (*RunResult, error) {
 					if opt.Backed {
 						fillPattern(bufs[i].Bytes(), r, op.Tag)
 					}
-					g.Send(bufs[i].Addr(), op.Size, op.Peer, op.Tag)
 				case core.OpRecv:
 					bufs[i] = sites[r].Space.Alloc(op.Size, opt.Backed)
-					g.Recv(bufs[i].Addr(), op.Size, op.Peer, op.Tag)
-				case core.OpBarrier:
-					g.LocalBarrier()
 				}
 			}
-			g.End()
+			// One recorded group per datapath actually used: without a policy
+			// that is exactly one; a measuring policy records a second group
+			// when it probes the other proxy path (both replay through the
+			// group caches on later calls).
+			groups := make(map[datapath.Kind]*core.GroupRequest)
+			groupFor := func(k datapath.Kind) *core.GroupRequest {
+				g := groups[k]
+				if g == nil {
+					g = h.GroupStartVia(k)
+					for i, op := range ops {
+						switch op.Type {
+						case core.OpSend:
+							g.Send(bufs[i].Addr(), op.Size, op.Peer, op.Tag)
+						case core.OpRecv:
+							g.Recv(bufs[i].Addr(), op.Size, op.Peer, op.Tag)
+						case core.OpBarrier:
+							g.LocalBarrier()
+						}
+					}
+					g.End()
+					groups[k] = g
+				}
+				return g
+			}
 			for c := 0; c < opt.Calls; c++ {
+				kind := h.DefaultPath()
+				var q policy.Request
+				if eng != nil {
+					q = policy.Request{Class: policy.ClassGroup, Size: maxSize, Call: c}
+					kind = eng.Decide(q).Path
+					if kind == datapath.KindHostDirect {
+						// Patterns only run on proxies: clamp host-direct
+						// decisions (small adaptive sizes) to the default path.
+						kind = h.DefaultPath()
+					}
+				}
+				g := groupFor(kind)
+				t0 := p.Now()
 				h.GroupCall(g)
 				if opt.Compute > 0 {
 					p.AdvanceBusy(opt.Compute)
 				}
 				h.GroupWait(g)
+				if eng != nil {
+					eng.Observe(q, kind, p.Now()-t0)
+				}
 			}
 			res.PerRank[r] = p.Now()
 			if opt.Backed {
