@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet staticcheck race check bench bench-snapshot snapshot-check bench-smoke wallclock
+.PHONY: all build test vet staticcheck race check bench bench-snapshot snapshot-check bench-smoke bench-tenants tenant-smoke wallclock
 
 all: build
 
@@ -30,7 +30,7 @@ staticcheck:
 race:
 	$(GO) test -race ./...
 
-check: vet staticcheck build race snapshot-check
+check: vet staticcheck build race snapshot-check tenant-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . ./internal/bench/ ./internal/sim/
@@ -52,6 +52,22 @@ bench-smoke:
 	$(GO) run ./cmd/offloadbench bench-snapshot -parallel 4 -o .bench_fig13.parallel.json
 	cmp BENCH_fig13.json .bench_fig13.parallel.json
 	rm -f .bench_fig13.parallel.json
+
+# Regenerate the checked-in multi-tenant crossover baseline after an
+# intentional timing or scheduling change.
+bench-tenants:
+	$(GO) run ./cmd/offloadbench bench-tenants -o BENCH_tenants.json
+	$(GO) test -run TestCheckedInTenantsSnapshotValid ./internal/bench/
+
+# Tenant smoke: validate the checked-in crossover baseline and prove the
+# shared-fabric sweep (latency-bound foreground + background bulk jobs on
+# one proxy worker per DPU) renders byte-identically serial vs parallel.
+tenant-smoke:
+	$(GO) test -run 'TestCheckedInTenantsSnapshotValid|TestTenantsSweepParallelIdentical' ./internal/bench/
+	$(GO) run ./cmd/offloadbench tenants -parallel 1 > .tenants.p1.out
+	$(GO) run ./cmd/offloadbench tenants -parallel 4 > .tenants.p4.out
+	cmp .tenants.p1.out .tenants.p4.out
+	rm -f .tenants.p1.out .tenants.p4.out
 
 # Re-record the wall-clock baseline (serial vs parallel fig13 sweep) on
 # this host. Host-dependent: commit only from a representative machine.

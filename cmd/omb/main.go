@@ -14,6 +14,10 @@
 //	ialltoall   OMB NBC alltoall: pure, overall, overlap%
 //	iallgather  OMB NBC allgather
 //	ibcast      OMB NBC broadcast
+//	tenants     multi-tenant: foreground Ialltoall latency vs background
+//	            bulk jobs sharing one proxy worker per node (-bgjobs N;
+//	            -policy picks the foreground policy, recommended
+//	            -nodes 2 -ppn 2 for quick runs)
 //
 // The -scheme flag selects Proposed / BluesMPI / IntelMPI for the NBC
 // benchmarks. All numbers are virtual time and deterministic.
@@ -26,6 +30,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -43,6 +48,7 @@ func main() {
 		maxS   = fs.Int("max", 512<<10, "largest message size")
 		warmup = fs.Int("warmup", 4, "warmup iterations")
 		iters  = fs.Int("iters", 3, "measured iterations")
+		bgjobs = fs.Int("bgjobs", 3, "tenants: largest background bulk-job count swept")
 	)
 	cf := bench.RegisterCommonFlags(fs)
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -86,6 +92,30 @@ func main() {
 			lat := bench.MeasurePingpongNB(bench.Options{Nodes: 2, PPN: 1, Scheme: *scheme, Policy: cf.Policy}, size, *warmup, *iters)
 			fmt.Printf("%-10s %12.2f\n", bench.SizeLabel(size), lat.Micros())
 		}
+	case "tenants":
+		pol := cf.Policy
+		if pol == "" {
+			pol = "gvmi"
+		}
+		fmt.Printf("# Multi-tenant: foreground Ialltoall vs background bulk jobs, %d nodes x %d PPN/job, fg policy=%s, 1 proxy/DPU\n",
+			*nodes, *ppn, pol)
+		fmt.Printf("%-8s %14s %14s %14s %14s\n", "bg jobs", "fg p50 (us)", "fg p99 (us)", "goodput GB/s", "makespan (us)")
+		results := make([]*tenant.Result, *bgjobs+1)
+		bench.Sweep(*bgjobs+1, func(i int, env bench.SweepEnv) {
+			cfg := bench.TenantsCase(*nodes, *ppn, i, pol, *iters)
+			cfg.Metrics = env.Met
+			cfg.Spans = env.Sp
+			r, err := tenant.Run(cfg)
+			if err != nil {
+				panic(fmt.Sprintf("omb: tenants bg=%d: %v", i, err))
+			}
+			results[i] = r
+		})
+		for i, r := range results {
+			fg := r.Job("fg")
+			fmt.Printf("%-8d %14.2f %14.2f %14.2f %14.2f\n",
+				i, fg.P50.Micros(), fg.P99.Micros(), r.GoodputGBps(), r.Makespan.Micros())
+		}
 	case "ialltoall":
 		nbc(bench.MeasureIalltoall, "Ialltoall")
 	case "iallgather":
@@ -104,8 +134,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: omb <latency|bw|pingpong|ialltoall|iallgather|ibcast> [flags]
+	fmt.Fprintln(os.Stderr, `usage: omb <latency|bw|pingpong|ialltoall|iallgather|ibcast|tenants> [flags]
 flags: -nodes N -ppn N -scheme Proposed|BluesMPI|IntelMPI -min B -max B -warmup N -iters N
        -policy NAME (offload policy: gvmi|staged|bluesmpi|hostdirect|adaptive|measure; overrides -scheme)
+       -bgjobs N (tenants: largest background bulk-job count swept)
        -metrics PATH -spans PATH -parallel N`)
 }

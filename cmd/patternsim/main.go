@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pattern"
 	"repro/internal/sim"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 		computeStr = flag.String("compute", "0", "overlapped compute per call (e.g. 1ms)")
 		calls      = flag.Int("calls", 1, "GroupCall repetitions")
 		verify     = flag.Bool("verify", true, "payload-backed buffers with data checks")
+		tenants    = flag.Int("tenants", 1, "replicate the pattern across N tenant jobs sharing the fabric and one proxy worker per node (-policy applies; incompatible with -mech staging, -compute, cache flags)")
 	)
 	cf := bench.RegisterCommonFlags(flag.CommandLine)
 	flag.Parse()
@@ -48,6 +50,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "patternsim:", err)
 		os.Exit(1)
+	}
+
+	if *tenants > 1 {
+		if *mech != "gvmi" || *noRegCache || *noGrpCache || *computeStr != "0" {
+			fmt.Fprintln(os.Stderr, "patternsim: -tenants runs on the shared proposed core (no -mech staging, cache flags, or -compute)")
+			os.Exit(1)
+		}
+		if err := runTenants(spec, *tenants, *nodes, *ppn, *calls, cf); err != nil {
+			fmt.Fprintln(os.Stderr, "patternsim:", err)
+			os.Exit(1)
+		}
+		if err := cf.Finish(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "patternsim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	cfg := core.DefaultConfig()
@@ -103,6 +121,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "patternsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runTenants replays the pattern as n concurrent tenant jobs on one shared
+// cluster with a single proxy worker per node, reporting per-tenant call
+// latencies and the aggregate makespan.
+func runTenants(spec *pattern.Spec, n, nodes, ppn, calls int, cf *bench.CommonFlags) error {
+	pol := cf.Policy
+	if pol == "" {
+		pol = "gvmi"
+	}
+	if nodes == 0 {
+		nodes = (spec.NRanks + ppn - 1) / ppn
+	}
+	jobs := make([]tenant.JobSpec, n)
+	for i := range jobs {
+		jobs[i] = tenant.JobSpec{
+			Name: fmt.Sprintf("t%d", i), PPN: ppn, Policy: pol,
+			Workload: tenant.Workload{Kind: tenant.Pattern, Spec: spec, Iters: calls, Warmup: -1},
+		}
+	}
+	res, err := tenant.Run(tenant.Config{
+		Nodes: nodes, ProxiesPerDPU: 1, Jobs: jobs,
+		Metrics: cf.Registry(), Spans: cf.Spans(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tenants: %d jobs x %d ranks, %d ops each, policy=%s, %d nodes, 1 proxy/DPU, calls=%d\n",
+		n, spec.NRanks, len(spec.Ops), pol, nodes, calls)
+	for _, jr := range res.Jobs {
+		fmt.Printf("  job %-4s p50=%v p99=%v finish=%v\n", jr.Name, jr.P50, jr.P99, jr.Finish)
+	}
+	fmt.Printf("makespan: %v, aggregate goodput: %.2f GB/s\n", res.Makespan, res.GoodputGBps())
+	return nil
 }
 
 func loadSpec(file, preset string, np int, sizeStr string) (*pattern.Spec, error) {

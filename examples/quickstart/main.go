@@ -1,6 +1,11 @@
 // Quickstart: build a 2-node simulated BlueField cluster, offload a
 // point-to-point transfer to the DPU with the Basic primitives, and show
 // that it completes while the host computes.
+//
+// This walkthrough gives one job the whole cluster for clarity; the
+// simulator is not single-job — internal/tenant runs N concurrent jobs
+// on a shared fabric with per-tenant proxy fairness (try
+// `go run ./cmd/patternsim -preset ring -np 4 -ppn 2 -tenants 2`).
 package main
 
 import (

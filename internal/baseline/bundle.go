@@ -76,3 +76,33 @@ func PolicyNames() []string {
 	sort.Strings(names)
 	return names
 }
+
+// SharedCore resolves the framework configuration for a multi-tenant
+// environment whose jobs run the given policies. Tenant jobs share one
+// framework, so per-job core configs cannot differ: every framework-backed
+// policy must agree on the proposed substrate (staging-handicap bundles
+// would silently change the shared proxies for everyone). Host-only
+// policies ("hostdirect") are fine — their job just never touches the
+// proxies. At least one job must exist; the shared framework is always
+// built (other tenants may offload even if one job does not).
+func SharedCore(names []string) (core.Config, error) {
+	if len(names) == 0 {
+		return core.Config{}, fmt.Errorf("baseline: shared core needs at least one policy")
+	}
+	for _, n := range names {
+		b, err := PolicyBundle(n)
+		if err != nil {
+			return core.Config{}, err
+		}
+		if !b.Framework {
+			continue
+		}
+		if b.Core == nil {
+			return core.Config{}, fmt.Errorf("baseline: policy %q has no core config", n)
+		}
+		if b.Core() != ProposedConfig() {
+			return core.Config{}, fmt.Errorf("baseline: policy %q needs core config %+v, which cannot be shared by a multi-tenant framework", n, b.Core())
+		}
+	}
+	return ProposedConfig(), nil
+}

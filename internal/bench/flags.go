@@ -25,9 +25,19 @@ type CommonFlags struct {
 	sc  *span.Collector
 }
 
-// RegisterCommonFlags registers the shared flag set on fs.
+// registered remembers which FlagSets already carry the common flags, so
+// subcommands sharing one FlagSet can each call RegisterCommonFlags without
+// tripping flag's duplicate-definition panic.
+var registered = map[*flag.FlagSet]*CommonFlags{}
+
+// RegisterCommonFlags registers the shared flag set on fs. Calling it again
+// with the same fs is a no-op that returns the original CommonFlags.
 func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
+	if cf, ok := registered[fs]; ok {
+		return cf
+	}
 	cf := &CommonFlags{}
+	registered[fs] = cf
 	fs.StringVar(&cf.MetricsPath, "metrics", "",
 		"write a metrics snapshot after the run: JSON to <path>, Prometheus text to <path>.prom")
 	fs.StringVar(&cf.SpansPath, "spans", "",

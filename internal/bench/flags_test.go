@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"flag"
+	"testing"
+)
+
+// Subcommands that share one FlagSet each call RegisterCommonFlags; a second
+// registration on the same set must return the original CommonFlags instead
+// of panicking on duplicate flag definitions.
+func TestRegisterCommonFlagsIdempotent(t *testing.T) {
+	fs := flag.NewFlagSet("shared", flag.ContinueOnError)
+	first := RegisterCommonFlags(fs)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("duplicate registration panicked: %v", r)
+		}
+	}()
+	second := RegisterCommonFlags(fs)
+	if first != second {
+		t.Fatal("second registration returned a different CommonFlags")
+	}
+	if err := fs.Parse([]string{"-parallel", "3", "-policy", "adaptive"}); err != nil {
+		t.Fatal(err)
+	}
+	if first.Parallel != 3 || first.Policy != "adaptive" {
+		t.Fatalf("parsed values missing from shared CommonFlags: %+v", first)
+	}
+
+	// Distinct FlagSets still get distinct CommonFlags.
+	other := RegisterCommonFlags(flag.NewFlagSet("other", flag.ContinueOnError))
+	if other == first {
+		t.Fatal("distinct FlagSets shared one CommonFlags")
+	}
+}

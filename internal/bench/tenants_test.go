@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// The generated snapshot must validate (which asserts the offload
+// crossover), reproduce exactly, and round-trip through the JSON
+// writer/parser unchanged.
+func TestTenantsSnapshotValidAndDeterministic(t *testing.T) {
+	snap := MeasureTenants()
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	again := MeasureTenants()
+	if !reflect.DeepEqual(snap, again) {
+		t.Fatal("two tenants sweeps diverged")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteTenantsSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTenantsSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatal("tenants snapshot did not round-trip through JSON")
+	}
+}
+
+// The sweep must produce byte-identical output at any worker count: results
+// land by index and per-run registries merge in index order.
+func TestTenantsSweepParallelIdentical(t *testing.T) {
+	old := Parallelism
+	defer func() { Parallelism = old }()
+
+	Parallelism = 1
+	serial := MeasureTenants()
+	Parallelism = 4
+	par := MeasureTenants()
+
+	var sb, pb bytes.Buffer
+	if err := WriteTenantsSnapshot(&sb, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTenantsSnapshot(&pb, par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+		t.Fatal("tenants sweep output differs between -parallel 1 and -parallel 4")
+	}
+}
+
+// The checked-in baseline must stay valid (including the crossover claim);
+// regenerate it with `make bench-tenants` after an intentional change.
+func TestCheckedInTenantsSnapshotValid(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_tenants.json")
+	if err != nil {
+		t.Fatalf("missing tenants baseline (run `make bench-tenants`): %v", err)
+	}
+	if _, err := ParseTenantsSnapshot(data); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -391,7 +391,7 @@ func (o *OffloadP2P) Name() string { return o.name }
 
 // Isend implements P2P.
 func (o *OffloadP2P) Isend(addr mem.Addr, size, dst, tag int) Request {
-	if o.r.World().Cl.SameNode(o.r.RankID(), dst) {
+	if o.r.World().SameNode(o.r.RankID(), dst) {
 		return o.r.Isend(addr, size, dst, tag)
 	}
 	return o.h.SendOffload(addr, size, dst, tag)
@@ -399,7 +399,7 @@ func (o *OffloadP2P) Isend(addr mem.Addr, size, dst, tag int) Request {
 
 // Irecv implements P2P.
 func (o *OffloadP2P) Irecv(addr mem.Addr, size, src, tag int) Request {
-	if o.r.World().Cl.SameNode(o.r.RankID(), src) {
+	if o.r.World().SameNode(o.r.RankID(), src) {
 		return o.r.Irecv(addr, size, src, tag)
 	}
 	return o.h.RecvOffload(addr, size, src, tag)

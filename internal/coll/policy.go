@@ -181,7 +181,7 @@ func (o *PolicyP2P) decide(size int) datapath.Kind {
 
 // Isend implements P2P.
 func (o *PolicyP2P) Isend(addr mem.Addr, size, dst, tag int) Request {
-	if o.r.World().Cl.SameNode(o.r.RankID(), dst) {
+	if o.r.World().SameNode(o.r.RankID(), dst) {
 		return o.r.Isend(addr, size, dst, tag)
 	}
 	if k := o.decide(size); k != datapath.KindHostDirect {
@@ -195,7 +195,7 @@ func (o *PolicyP2P) Isend(addr mem.Addr, size, dst, tag int) Request {
 // agree with the sender about host-vs-proxy, which the shared decision rule
 // guarantees.
 func (o *PolicyP2P) Irecv(addr mem.Addr, size, src, tag int) Request {
-	if o.r.World().Cl.SameNode(o.r.RankID(), src) {
+	if o.r.World().SameNode(o.r.RankID(), src) {
 		return o.r.Irecv(addr, size, src, tag)
 	}
 	if k := o.decide(size); k != datapath.KindHostDirect {

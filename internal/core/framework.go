@@ -106,6 +106,7 @@ type Framework struct {
 	hosts   []*Host
 	proxies []*Proxy
 	stopped bool
+	tenancy *Tenancy // nil = single-job framework (see tenancy.go)
 }
 
 // New builds the framework for the given host attachment sites (one per

@@ -105,12 +105,12 @@ func (g *GroupRequest) Done() bool { return g.doneSeq >= g.callSeq }
 
 // Send records an offloaded send (Send_Goffload).
 func (g *GroupRequest) Send(addr mem.Addr, size, dst, tag int) {
-	g.record(GroupOp{Type: OpSend, Addr: addr, Size: size, Peer: dst, Tag: tag})
+	g.record(GroupOp{Type: OpSend, Addr: addr, Size: size, Peer: g.h.peer(dst), Tag: tag})
 }
 
 // Recv records an offloaded receive (Recv_Goffload).
 func (g *GroupRequest) Recv(addr mem.Addr, size, src, tag int) {
-	g.record(GroupOp{Type: OpRecv, Addr: addr, Size: size, Peer: src, Tag: tag})
+	g.record(GroupOp{Type: OpRecv, Addr: addr, Size: size, Peer: g.h.peer(src), Tag: tag})
 }
 
 // LocalBarrier records an ordering point (Local_barrier_Goffload): entries

@@ -153,6 +153,9 @@ func (px *Proxy) advanceGroup(g *proxyGroup) bool {
 				px.entity(), "core", "group_exec")
 			sp.AttrInt(g.execSpan, "call", int64(g.finishedSeq+1))
 			sp.AttrInt(g.execSpan, "entries", int64(len(g.entries)))
+			if name := px.fw.tenantName(g.host); name != "" {
+				sp.AttrStr(g.execSpan, "tenant", name)
+			}
 		}
 		if px.fw.cfg.WarmupPerOp > 0 && g.finishedSeq < px.fw.cfg.WarmupCalls {
 			// First-iterations setup penalty (staging-buffer and queue
@@ -240,6 +243,9 @@ func (px *Proxy) postGroupSend(g *proxyGroup, idx int) {
 	}
 
 	g.pending++
+	if px.sched != nil {
+		px.wireCharge(px.sched.ten.TenantOf[g.host], e.Size)
+	}
 	if tr := px.fw.cl.Trace; tr.Enabled() {
 		tr.Add(px.proc.Now(), fmt.Sprintf("proxy%d", px.global), "group-send",
 			fmt.Sprintf("host%d->%d size=%d", g.host, e.Dst, e.Size))

@@ -33,6 +33,13 @@ type Host struct {
 	nextGroup int
 	groups    map[int]*GroupRequest
 
+	// peers maps caller-local peer ranks to global framework ranks; nil is
+	// the identity map. Multi-tenant runs drive each host from a placed MPI
+	// world whose ranks are job-local, while the wire protocol (RTS/RTR,
+	// group wires, proxy routing) speaks global ranks — SetPeers installs
+	// the translation so callers never see global numbering.
+	peers []int
+
 	// Crash-tolerance state; allocated only when the fault plan schedules
 	// proxy crashes (see failover.go). dlvCtx receives the RDMA delivery-
 	// counter writes of Section VII-C, which move into host memory so they
@@ -88,6 +95,18 @@ func (h *Host) Bind(p *sim.Proc) {
 
 // Rank returns the host rank.
 func (h *Host) Rank() int { return h.rank }
+
+// SetPeers installs a caller-local → global peer-rank translation (see the
+// peers field). Call before issuing operations; nil restores the identity.
+func (h *Host) SetPeers(peers []int) { h.peers = peers }
+
+// peer translates one caller-local peer rank to a global framework rank.
+func (h *Host) peer(p int) int {
+	if h.peers == nil {
+		return p
+	}
+	return h.peers[p]
+}
 
 // Proc returns the bound process.
 func (h *Host) Proc() *sim.Proc { return h.proc }
@@ -162,6 +181,7 @@ func (h *Host) SendOffload(addr mem.Addr, size, dst, tag int) *OffloadRequest {
 // transfer on that path. The kind must be proxy-executable — HostDirect
 // transfers go through the MPI library, not this framework.
 func (h *Host) SendOffloadVia(kind datapath.Kind, addr mem.Addr, size, dst, tag int) *OffloadRequest {
+	dst = h.peer(dst)
 	px := h.fw.proxyFor(h.rank)
 	req := h.newReq()
 	if sp := h.spans(); sp.Enabled() {
@@ -205,6 +225,7 @@ func (h *Host) SendOffloadVia(kind datapath.Kind, addr mem.Addr, size, dst, tag 
 // rank src (Recv_Offload): the destination buffer is IB-registered and an
 // RTR goes to the *sender's* proxy, which posts the RDMA write.
 func (h *Host) RecvOffload(addr mem.Addr, size, src, tag int) *OffloadRequest {
+	src = h.peer(src)
 	px := h.fw.proxyFor(src)
 	req := h.newReq()
 	if sp := h.spans(); sp.Enabled() {

@@ -71,6 +71,10 @@ type Proxy struct {
 	GroupHits  int64
 	GroupMiss  int64
 
+	// sched is the per-tenant queueing/fairness state; nil on single-job
+	// frameworks, where the control loop is untouched (see tenancy.go).
+	sched *tenantSched
+
 	// Metric handles; nil (inert) when metrics are off.
 	mGroupHits *metrics.Counter
 	mGroupMiss *metrics.Counter
@@ -170,9 +174,13 @@ func (px *Proxy) run(p *sim.Proc) {
 			continue
 		}
 		progressed := false
-		for _, pkt := range px.ctx.PollInbox() {
-			px.handle(pkt)
-			progressed = true
+		if px.sched != nil {
+			progressed = px.tenantRound()
+		} else {
+			for _, pkt := range px.ctx.PollInbox() {
+				px.handle(pkt)
+				progressed = true
+			}
 		}
 		for len(px.deferred) > 0 {
 			fns := px.deferred
@@ -186,13 +194,27 @@ func (px *Proxy) run(p *sim.Proc) {
 			pairs := px.combined
 			px.combined = nil
 			for _, pr := range pairs {
-				px.transfer(pr)
+				if s := px.sched; s != nil {
+					t := s.ten.TenantOf[pr.rts.Src]
+					t0 := px.proc.Now()
+					px.transfer(pr)
+					s.addBusy(t, px.proc.Now()-t0)
+					px.wireCharge(t, pr.rts.Size)
+				} else {
+					px.transfer(pr)
+				}
 			}
 			progressed = true
 		}
-		for _, g := range px.activeGroups() {
-			if px.advanceGroup(g) {
+		if px.sched != nil {
+			if px.tenantGroupRound() {
 				progressed = true
+			}
+		} else {
+			for _, g := range px.activeGroups() {
+				if px.advanceGroup(g) {
+					progressed = true
+				}
 			}
 		}
 		if !progressed && px.idle() {
@@ -230,6 +252,7 @@ func (px *Proxy) crash() {
 	px.stagePool = make(map[int][]*stageBuf)
 	px.crossCache = regcache.New[*verbs.MR](fw.cl.Cfg.NP(), 0, func(mr *verbs.MR) { mr.Deregister() })
 	px.instrument()
+	px.initTenancy(fw.tenancy) // queued packets died with the process
 	px.mCrashes.Inc()
 	if inj := fw.cl.Inj; inj != nil {
 		inj.Stats.Crashes++
@@ -350,6 +373,9 @@ func (px *Proxy) transferSpan(pr pairMsg, mech string) span.ID {
 	ts := sp.Start(pr.rts.Span, span.ClassProxy, px.entity(), "core", "transfer")
 	sp.AttrInt(ts, "size", int64(pr.rts.Size))
 	sp.AttrStr(ts, "mech", mech)
+	if name := px.fw.tenantName(pr.rts.Src); name != "" {
+		sp.AttrStr(ts, "tenant", name)
+	}
 	return ts
 }
 

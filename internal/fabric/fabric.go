@@ -31,6 +31,14 @@ type Params struct {
 	GBps float64
 }
 
+// XferTime returns the full endpoint occupancy of an n-byte message:
+// per-message overhead plus serialization. Exported for schedulers that
+// need to account wire service without performing a transfer (e.g. the
+// multi-tenant proxy's fair-share pass accounting).
+func (p Params) XferTime(n int) sim.Time {
+	return p.Overhead + p.serialize(n)
+}
+
 // serialize returns the time to push n bytes through the endpoint.
 func (p Params) serialize(n int) sim.Time {
 	if p.GBps <= 0 {

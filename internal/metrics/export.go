@@ -11,11 +11,14 @@ import (
 // when the JSON layout changes incompatibly.
 const SnapshotSchema = "offload-metrics/v1"
 
-// CounterPoint is one exported counter value.
+// CounterPoint is one exported counter value. Tenant is the optional job
+// label of multi-tenant runs; it is omitted when empty so untenanted
+// snapshots are byte-identical to the pre-tenant format.
 type CounterPoint struct {
 	Layer  string `json:"layer"`
 	Entity string `json:"entity"`
 	Name   string `json:"name"`
+	Tenant string `json:"tenant,omitempty"`
 	Value  int64  `json:"value"`
 }
 
@@ -24,6 +27,7 @@ type GaugePoint struct {
 	Layer  string  `json:"layer"`
 	Entity string  `json:"entity"`
 	Name   string  `json:"name"`
+	Tenant string  `json:"tenant,omitempty"`
 	Value  float64 `json:"value"`
 }
 
@@ -39,6 +43,7 @@ type HistogramPoint struct {
 	Layer   string        `json:"layer"`
 	Entity  string        `json:"entity"`
 	Name    string        `json:"name"`
+	Tenant  string        `json:"tenant,omitempty"`
 	Count   int64         `json:"count"`
 	SumNS   int64         `json:"sum_ns"`
 	Buckets []BucketPoint `json:"buckets,omitempty"`
@@ -67,14 +72,14 @@ func (r *Registry) Snapshot() Snapshot {
 		return s
 	}
 	for _, k := range sortedKeys(r.counters) {
-		s.Counters = append(s.Counters, CounterPoint{k.Layer, k.Entity, k.Name, r.counters[k].v})
+		s.Counters = append(s.Counters, CounterPoint{k.Layer, k.Entity, k.Name, k.Tenant, r.counters[k].v})
 	}
 	for _, k := range sortedKeys(r.gauges) {
-		s.Gauges = append(s.Gauges, GaugePoint{k.Layer, k.Entity, k.Name, r.gauges[k].v})
+		s.Gauges = append(s.Gauges, GaugePoint{k.Layer, k.Entity, k.Name, k.Tenant, r.gauges[k].v})
 	}
 	for _, k := range sortedKeys(r.hists) {
 		h := r.hists[k]
-		hp := HistogramPoint{Layer: k.Layer, Entity: k.Entity, Name: k.Name,
+		hp := HistogramPoint{Layer: k.Layer, Entity: k.Entity, Name: k.Name, Tenant: k.Tenant,
 			Count: h.count, SumNS: int64(h.sum)}
 		for i, n := range h.buckets {
 			if n == 0 {
@@ -108,11 +113,17 @@ func (s Snapshot) Has(layer string) bool {
 	return false
 }
 
-// CounterValue returns the exported value of one counter series (0 if
-// absent).
+// CounterValue returns the exported value of one untenanted counter series
+// (0 if absent).
 func (s Snapshot) CounterValue(layer, entity, name string) int64 {
+	return s.CounterValueT(layer, entity, name, "")
+}
+
+// CounterValueT returns the exported value of one counter series under a
+// tenant label (0 if absent; "" matches untenanted series).
+func (s Snapshot) CounterValueT(layer, entity, name, tenant string) int64 {
 	for _, c := range s.Counters {
-		if c.Layer == layer && c.Entity == entity && c.Name == name {
+		if c.Layer == layer && c.Entity == entity && c.Name == name && c.Tenant == tenant {
 			return c.Value
 		}
 	}
@@ -219,10 +230,21 @@ func promLabel(v string) string {
 	return b.String()
 }
 
+// promLabels renders the label set of one series: always the entity label,
+// plus a tenant label when the series carries one. Untenanted series emit
+// the exact pre-tenant label set, so legacy exports are byte-identical.
+func promLabels(entity, tenant string) string {
+	if tenant == "" {
+		return "entity=" + promLabel(entity)
+	}
+	return "entity=" + promLabel(entity) + ",tenant=" + promLabel(tenant)
+}
+
 // WritePrometheus writes the snapshot in Prometheus text exposition format.
-// Entities become the "entity" label; histogram bucket bounds are emitted
-// as cumulative le="..." series in virtual nanoseconds. Series order
-// follows the snapshot's sorted key order, so output is deterministic.
+// Entities become the "entity" label (tenanted series add a "tenant" label);
+// histogram bucket bounds are emitted as cumulative le="..." series in
+// virtual nanoseconds. Series order follows the snapshot's sorted key order,
+// so output is deterministic.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	typed := map[string]bool{} // emit each # TYPE line once per metric name
 	header := func(name, typ string) {
@@ -234,24 +256,25 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, c := range s.Counters {
 		n := promName(c.Layer, c.Name)
 		header(n, "counter")
-		fmt.Fprintf(w, "%s{entity=%s} %d\n", n, promLabel(c.Entity), c.Value)
+		fmt.Fprintf(w, "%s{%s} %d\n", n, promLabels(c.Entity, c.Tenant), c.Value)
 	}
 	for _, g := range s.Gauges {
 		n := promName(g.Layer, g.Name)
 		header(n, "gauge")
-		fmt.Fprintf(w, "%s{entity=%s} %g\n", n, promLabel(g.Entity), g.Value)
+		fmt.Fprintf(w, "%s{%s} %g\n", n, promLabels(g.Entity, g.Tenant), g.Value)
 	}
 	for _, h := range s.Histograms {
 		n := promName(h.Layer, h.Name)
 		header(n, "histogram")
+		lbl := promLabels(h.Entity, h.Tenant)
 		var cum int64
 		for _, b := range h.Buckets {
 			cum += b.Count
-			fmt.Fprintf(w, "%s_bucket{entity=%s,le=%s} %d\n", n, promLabel(h.Entity), promLabel(fmt.Sprint(b.Lt-1)), cum)
+			fmt.Fprintf(w, "%s_bucket{%s,le=%s} %d\n", n, lbl, promLabel(fmt.Sprint(b.Lt-1)), cum)
 		}
-		fmt.Fprintf(w, "%s_bucket{entity=%s,le=\"+Inf\"} %d\n", n, promLabel(h.Entity), h.Count)
-		fmt.Fprintf(w, "%s_sum{entity=%s} %d\n", n, promLabel(h.Entity), h.SumNS)
-		fmt.Fprintf(w, "%s_count{entity=%s} %d\n", n, promLabel(h.Entity), h.Count)
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", n, lbl, h.Count)
+		fmt.Fprintf(w, "%s_sum{%s} %d\n", n, lbl, h.SumNS)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", n, lbl, h.Count)
 	}
 	return nil
 }

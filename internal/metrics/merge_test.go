@@ -66,6 +66,76 @@ func TestMergeCreatesUntouchedSeries(t *testing.T) {
 	}
 }
 
+// In a multi-tenant sweep every per-job registry records the same proxy
+// series under its own tenant label, and two jobs can genuinely overlap on
+// one tenant key (e.g. both attribute busy time to the tenant they delayed).
+// Merge must keep tenants as separate series — never folding them into each
+// other or into the untenanted series — while applying the usual per-series
+// semantics: counters add, Set-gauges take the merging writer, SetMax-gauges
+// take the maximum.
+func TestMergeOverlappingTenantKeys(t *testing.T) {
+	a := NewRegistry()
+	a.CounterT("core", "proxy0", "tenant_dispatches", "jobA").Add(10)
+	a.GaugeT("core", "proxy0", "tenant_queue_depth", "jobA").Set(4)
+	a.GaugeT("core", "proxy0", "tenant_queue_depth_max", "jobA").SetMax(6)
+	a.HistogramT("core", "proxy0", "cross_tenant_wait_ns", "jobA").Observe(2 * sim.Microsecond)
+	a.Counter("core", "proxy0", "tenant_dispatches").Add(1) // untenanted sibling
+
+	b := NewRegistry()
+	b.CounterT("core", "proxy0", "tenant_dispatches", "jobA").Add(5) // overlaps a
+	b.CounterT("core", "proxy0", "tenant_dispatches", "jobB").Add(3)
+	b.GaugeT("core", "proxy0", "tenant_queue_depth", "jobA").Set(1) // last writer
+	b.GaugeT("core", "proxy0", "tenant_queue_depth", "jobB").Set(9)
+	b.GaugeT("core", "proxy0", "tenant_queue_depth_max", "jobA").SetMax(2) // below a's 6
+	b.GaugeT("core", "proxy0", "tenant_queue_depth_max", "jobB").SetMax(8)
+	b.HistogramT("core", "proxy0", "cross_tenant_wait_ns", "jobA").Observe(3 * sim.Microsecond)
+
+	dst := NewRegistry()
+	dst.Merge(a)
+	dst.Merge(b)
+
+	if v := dst.CounterT("core", "proxy0", "tenant_dispatches", "jobA").Value(); v != 15 {
+		t.Errorf("jobA counter = %d, want 10+5=15", v)
+	}
+	if v := dst.CounterT("core", "proxy0", "tenant_dispatches", "jobB").Value(); v != 3 {
+		t.Errorf("jobB counter = %d, want 3", v)
+	}
+	if v := dst.Counter("core", "proxy0", "tenant_dispatches").Value(); v != 1 {
+		t.Errorf("untenanted sibling = %d, want 1 (tenants must not fold into it)", v)
+	}
+	if v := dst.GaugeT("core", "proxy0", "tenant_queue_depth", "jobA").Value(); v != 1 {
+		t.Errorf("jobA Set gauge = %v, want last merged writer 1", v)
+	}
+	if v := dst.GaugeT("core", "proxy0", "tenant_queue_depth", "jobB").Value(); v != 9 {
+		t.Errorf("jobB Set gauge = %v, want 9", v)
+	}
+	if v := dst.GaugeT("core", "proxy0", "tenant_queue_depth_max", "jobA").Value(); v != 6 {
+		t.Errorf("jobA SetMax gauge = %v, want max(6,2)=6", v)
+	}
+	if v := dst.GaugeT("core", "proxy0", "tenant_queue_depth_max", "jobB").Value(); v != 8 {
+		t.Errorf("jobB SetMax gauge = %v, want 8", v)
+	}
+	h := dst.HistogramT("core", "proxy0", "cross_tenant_wait_ns", "jobA")
+	if h.Count() != 2 || h.Sum() != 5*sim.Microsecond {
+		t.Errorf("jobA histogram count=%d sum=%d, want 2/%d", h.Count(), h.Sum(), 5*sim.Microsecond)
+	}
+
+	// Merge order independence where the semantics promise it: reversing the
+	// merge only changes Set-gauges (last writer), nothing else.
+	rev := NewRegistry()
+	rev.Merge(b)
+	rev.Merge(a)
+	if v := rev.CounterT("core", "proxy0", "tenant_dispatches", "jobA").Value(); v != 15 {
+		t.Errorf("reversed jobA counter = %d, want 15", v)
+	}
+	if v := rev.GaugeT("core", "proxy0", "tenant_queue_depth_max", "jobA").Value(); v != 6 {
+		t.Errorf("reversed jobA SetMax gauge = %v, want 6", v)
+	}
+	if v := rev.GaugeT("core", "proxy0", "tenant_queue_depth", "jobA").Value(); v != 4 {
+		t.Errorf("reversed jobA Set gauge = %v, want a's 4 as last writer", v)
+	}
+}
+
 // Merging nil is a no-op, and merging private registries in index order
 // reproduces the serial interleaving byte-for-byte at the snapshot level.
 func TestMergeOrderMatchesSerial(t *testing.T) {

@@ -27,10 +27,17 @@ import (
 // "regcache", "core", "mpi"), the entity within the layer (an endpoint,
 // cache or process name; "all" for layer-wide aggregates) and the metric
 // name (snake_case, with a unit suffix such as _ns where applicable).
+//
+// Tenant is an optional fourth dimension for multi-tenant simulations: the
+// job the sample is attributed to. The empty string means "untenanted" and
+// is what every legacy series carries — it sorts first and is omitted from
+// exports, so single-job runs produce byte-identical output with or without
+// the dimension existing.
 type Key struct {
 	Layer  string
 	Entity string
 	Name   string
+	Tenant string
 }
 
 // less orders keys for deterministic export.
@@ -41,7 +48,10 @@ func (k Key) less(o Key) bool {
 	if k.Entity != o.Entity {
 		return k.Entity < o.Entity
 	}
-	return k.Name < o.Name
+	if k.Name != o.Name {
+		return k.Name < o.Name
+	}
+	return k.Tenant < o.Tenant
 }
 
 // Counter is a monotonically increasing int64. All methods are nil-safe; a
@@ -182,10 +192,16 @@ func (r *Registry) Enabled() bool { return r != nil }
 // name); nil-safe — a nil registry returns a nil handle. Series exist from
 // first request, so zero-valued counters still export.
 func (r *Registry) Counter(layer, entity, name string) *Counter {
+	return r.CounterT(layer, entity, name, "")
+}
+
+// CounterT is Counter with a tenant label ("" = untenanted, identical to
+// Counter); nil-safe.
+func (r *Registry) CounterT(layer, entity, name, tenant string) *Counter {
 	if r == nil {
 		return nil
 	}
-	k := Key{layer, entity, name}
+	k := Key{Layer: layer, Entity: entity, Name: name, Tenant: tenant}
 	c := r.counters[k]
 	if c == nil {
 		c = &Counter{}
@@ -197,10 +213,15 @@ func (r *Registry) Counter(layer, entity, name string) *Counter {
 // Gauge returns (creating if needed) the gauge for (layer, entity, name);
 // nil-safe.
 func (r *Registry) Gauge(layer, entity, name string) *Gauge {
+	return r.GaugeT(layer, entity, name, "")
+}
+
+// GaugeT is Gauge with a tenant label ("" = untenanted); nil-safe.
+func (r *Registry) GaugeT(layer, entity, name, tenant string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	k := Key{layer, entity, name}
+	k := Key{Layer: layer, Entity: entity, Name: name, Tenant: tenant}
 	g := r.gauges[k]
 	if g == nil {
 		g = &Gauge{}
@@ -212,10 +233,15 @@ func (r *Registry) Gauge(layer, entity, name string) *Gauge {
 // Histogram returns (creating if needed) the histogram for (layer, entity,
 // name); nil-safe.
 func (r *Registry) Histogram(layer, entity, name string) *Histogram {
+	return r.HistogramT(layer, entity, name, "")
+}
+
+// HistogramT is Histogram with a tenant label ("" = untenanted); nil-safe.
+func (r *Registry) HistogramT(layer, entity, name, tenant string) *Histogram {
 	if r == nil {
 		return nil
 	}
-	k := Key{layer, entity, name}
+	k := Key{Layer: layer, Entity: entity, Name: name, Tenant: tenant}
 	h := r.hists[k]
 	if h == nil {
 		h = &Histogram{}
@@ -242,10 +268,10 @@ func (r *Registry) Merge(src *Registry) {
 		return
 	}
 	for k, c := range src.counters {
-		r.Counter(k.Layer, k.Entity, k.Name).Add(c.v)
+		r.CounterT(k.Layer, k.Entity, k.Name, k.Tenant).Add(c.v)
 	}
 	for k, g := range src.gauges {
-		dst := r.Gauge(k.Layer, k.Entity, k.Name)
+		dst := r.GaugeT(k.Layer, k.Entity, k.Name, k.Tenant)
 		switch {
 		case g.wroteSet:
 			dst.Set(g.v)
@@ -254,7 +280,7 @@ func (r *Registry) Merge(src *Registry) {
 		}
 	}
 	for k, h := range src.hists {
-		dst := r.Histogram(k.Layer, k.Entity, k.Name)
+		dst := r.HistogramT(k.Layer, k.Entity, k.Name, k.Tenant)
 		dst.count += h.count
 		dst.sum += h.sum
 		for i, n := range h.buckets {

@@ -185,21 +185,47 @@ func TestPrometheusLabelEscaping(t *testing.T) {
 	if strings.Count(buf.String(), "\n") != 2 { // TYPE line + series line
 		t.Fatalf("raw newline leaked into exposition:\n%q", buf.String())
 	}
+
+	// Tenant label values take the same three escapes; a tenanted series
+	// carries exactly one extra label and an untenanted one carries none.
+	r2 := NewRegistry()
+	r2.CounterT("fabric", "ep", "msgs_tx", "job\\A\"1\n").Add(2)
+	r2.Counter("fabric", "ep", "msgs_tx").Add(1)
+	buf.Reset()
+	if err := r2.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`offload_fabric_msgs_tx{entity="ep"} 1`,
+		`offload_fabric_msgs_tx{entity="ep",tenant="job\\A\"1\n"} 2`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("tenant exposition missing %s:\n%s", want, buf.String())
+		}
+	}
+	if strings.Count(buf.String(), "tenant=") != 1 {
+		t.Fatalf("tenant label leaked onto untenanted series:\n%s", buf.String())
+	}
 }
 
 // Golden ordering: the full Prometheus exposition of a fixed registry is
-// byte-stable — series follow the snapshot's sorted key order, TYPE
-// headers appear once, immediately before their first series.
+// byte-stable — series follow the snapshot's sorted key order (tenant is
+// the last sort dimension, untenanted first), TYPE headers appear once,
+// immediately before their first series.
 func TestPrometheusGoldenOrdering(t *testing.T) {
 	build := func() string {
 		r := NewRegistry()
 		r.Counter("verbs", "n1.host", "posts").Add(2)
+		r.CounterT("verbs", "n0.host", "posts", "jobB").Add(7)
 		r.Counter("verbs", "n0.host", "posts").Add(1)
+		r.CounterT("verbs", "n0.host", "posts", "jobA").Add(6)
 		r.Counter("core", "proxy0", "ctrl_msgs").Add(5)
+		r.GaugeT("core", "proxy0", "queue_depth", "jobA").Set(2)
 		r.Gauge("core", "proxy0", "queue_depth").Set(3)
 		h := r.Histogram("verbs", "all", "reg_latency_ns")
 		h.Observe(0)
 		h.Observe(3)
+		r.HistogramT("verbs", "all", "reg_latency_ns", "jobA").Observe(1)
 		var buf bytes.Buffer
 		if err := r.Snapshot().WritePrometheus(&buf); err != nil {
 			t.Fatal(err)
@@ -210,15 +236,22 @@ func TestPrometheusGoldenOrdering(t *testing.T) {
 offload_core_ctrl_msgs{entity="proxy0"} 5
 # TYPE offload_verbs_posts counter
 offload_verbs_posts{entity="n0.host"} 1
+offload_verbs_posts{entity="n0.host",tenant="jobA"} 6
+offload_verbs_posts{entity="n0.host",tenant="jobB"} 7
 offload_verbs_posts{entity="n1.host"} 2
 # TYPE offload_core_queue_depth gauge
 offload_core_queue_depth{entity="proxy0"} 3
+offload_core_queue_depth{entity="proxy0",tenant="jobA"} 2
 # TYPE offload_verbs_reg_latency_ns histogram
 offload_verbs_reg_latency_ns_bucket{entity="all",le="0"} 1
 offload_verbs_reg_latency_ns_bucket{entity="all",le="3"} 2
 offload_verbs_reg_latency_ns_bucket{entity="all",le="+Inf"} 2
 offload_verbs_reg_latency_ns_sum{entity="all"} 3
 offload_verbs_reg_latency_ns_count{entity="all"} 2
+offload_verbs_reg_latency_ns_bucket{entity="all",tenant="jobA",le="1"} 1
+offload_verbs_reg_latency_ns_bucket{entity="all",tenant="jobA",le="+Inf"} 1
+offload_verbs_reg_latency_ns_sum{entity="all",tenant="jobA"} 1
+offload_verbs_reg_latency_ns_count{entity="all",tenant="jobA"} 1
 `
 	got := build()
 	if got != golden {
@@ -226,6 +259,27 @@ offload_verbs_reg_latency_ns_count{entity="all"} 2
 	}
 	if again := build(); again != got {
 		t.Fatal("exposition not deterministic across identical registries")
+	}
+}
+
+// Untenanted registries must export byte-identically to the pre-tenant
+// format: the tenant field is omitted from JSON and absent from the
+// Prometheus label set, so checked-in BENCH files cannot drift.
+func TestTenantOmittedFromLegacyExports(t *testing.T) {
+	snap := sampleRegistry().Snapshot()
+	var js bytes.Buffer
+	if err := snap.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(js.String(), "tenant") {
+		t.Fatalf("untenanted JSON mentions tenant:\n%s", js.String())
+	}
+	var prom bytes.Buffer
+	if err := snap.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(prom.String(), "tenant") {
+		t.Fatalf("untenanted exposition mentions tenant:\n%s", prom.String())
 	}
 }
 

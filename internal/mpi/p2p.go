@@ -74,7 +74,7 @@ func (r *Rank) Isend(addr mem.Addr, size, dst, tag int) *Request {
 		return req
 	}
 
-	if cl.SameNode(r.rank, dst) {
+	if r.w.SameNode(r.rank, dst) {
 		r.w.mShm.Inc()
 		if size <= r.w.cfg.EagerThreshold {
 			// Copy-in/copy-out through a shared-memory slot; the send

@@ -53,11 +53,14 @@ func DefaultConfig() Config {
 	}
 }
 
-// World is a communicator spanning all host processes of the cluster.
+// World is a communicator spanning all host processes of the cluster (or,
+// for placed worlds, the subset of node slots one tenant job occupies).
 type World struct {
-	Cl    *cluster.Cluster
-	cfg   Config
-	ranks []*Rank
+	Cl     *cluster.Cluster
+	cfg    Config
+	ranks  []*Rank
+	nodeOf []int  // node of each world rank (placed worlds need not follow cluster geometry)
+	prefix string // site/process name prefix ("" for the single-world case)
 
 	// Metric handles; nil (inert) when metrics are off.
 	mEager   *metrics.Counter
@@ -67,18 +70,33 @@ type World struct {
 }
 
 // NewWorld creates the world communicator and its rank state (processes are
-// spawned by Launch).
+// spawned by Launch). It spans every host slot of the cluster in the
+// cluster's own rank geometry.
 func NewWorld(cl *cluster.Cluster, cfg Config) *World {
-	w := &World{Cl: cl, cfg: cfg}
+	nodeOf := make([]int, cl.Cfg.NP())
+	for i := range nodeOf {
+		nodeOf[i] = cl.NodeOfRank(i)
+	}
+	return NewPlacedWorld(cl, cfg, "", nodeOf)
+}
+
+// NewPlacedWorld creates a world of len(nodeOf) ranks where world rank i
+// lives on node nodeOf[i]. It is the multi-tenant constructor: several
+// worlds can share one cluster, each occupying its own slice of every
+// node's slots. prefix disambiguates site and process names between worlds
+// ("" reproduces the single-world names). World ranks are dense and
+// job-local; the cluster's NodeOfRank geometry does not apply to them.
+func NewPlacedWorld(cl *cluster.Cluster, cfg Config, prefix string, nodeOf []int) *World {
+	w := &World{Cl: cl, cfg: cfg, nodeOf: append([]int(nil), nodeOf...), prefix: prefix}
 	if m := cl.Met; m.Enabled() {
 		w.mEager = m.Counter("mpi", "all", "eager_msgs")
 		w.mRdv = m.Counter("mpi", "all", "rendezvous_msgs")
 		w.mShm = m.Counter("mpi", "all", "shm_msgs")
 		w.mRecvLat = m.Histogram("mpi", "all", "recv_match_latency_ns")
 	}
-	np := cl.Cfg.NP()
+	np := len(nodeOf)
 	for i := 0; i < np; i++ {
-		site := cl.NewHostSite(cl.NodeOfRank(i), fmt.Sprintf("rank%d", i))
+		site := cl.NewHostSite(nodeOf[i], fmt.Sprintf("%srank%d", prefix, i))
 		r := &Rank{
 			w:    w,
 			rank: i,
@@ -88,11 +106,19 @@ func NewWorld(cl *cluster.Cluster, cfg Config) *World {
 				mr.Deregister()
 			}),
 		}
-		r.regCache.Instrument(cl.Met, fmt.Sprintf("mpi.rank%d", i))
+		r.regCache.Instrument(cl.Met, fmt.Sprintf("mpi.%srank%d", prefix, i))
 		w.ranks = append(w.ranks, r)
 	}
 	return w
 }
+
+// SameNode reports whether two world ranks share a node. Placed worlds must
+// use this instead of cluster.SameNode: world ranks are job-local and do
+// not follow the cluster's rank geometry.
+func (w *World) SameNode(a, b int) bool { return w.nodeOf[a] == w.nodeOf[b] }
+
+// NodeOf returns the node a world rank lives on.
+func (w *World) NodeOf(i int) int { return w.nodeOf[i] }
 
 // Config returns the library configuration.
 func (w *World) Config() Config { return w.cfg }
@@ -109,7 +135,7 @@ func (w *World) Rank(i int) *Rank { return w.ranks[i] }
 func (w *World) Launch(main func(r *Rank)) {
 	for _, r := range w.ranks {
 		r := r
-		w.Cl.K.Spawn(fmt.Sprintf("rank%d", r.rank), func(p *sim.Proc) {
+		w.Cl.K.Spawn(fmt.Sprintf("%srank%d", w.prefix, r.rank), func(p *sim.Proc) {
 			r.proc = p
 			main(r)
 		})

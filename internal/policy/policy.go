@@ -272,8 +272,9 @@ func (m *Measuring) argmin(e *costEntry) datapath.Kind {
 // shared by all ranks of an environment — that sharing is what makes
 // Measuring's freeze globally consistent.
 type Engine struct {
-	p Policy
-	m *metrics.Registry
+	p      Policy
+	m      *metrics.Registry
+	tenant string
 
 	mByPath   map[datapath.Kind]*metrics.Counter
 	mByReason map[string]*metrics.Counter
@@ -281,9 +282,19 @@ type Engine struct {
 
 // NewEngine builds an engine recording into m (nil m records nothing).
 func NewEngine(p Policy, m *metrics.Registry) *Engine {
+	return NewEngineFor(p, m, "")
+}
+
+// NewEngineFor is NewEngine with a tenant label: every decision counter is
+// recorded under it, so multi-tenant runs attribute path choices per job.
+// Each tenant job gets its own engine — Measuring then learns per job, which
+// is the correct scope (jobs see different proxy load). "" reproduces
+// NewEngine exactly.
+func NewEngineFor(p Policy, m *metrics.Registry, tenant string) *Engine {
 	return &Engine{
 		p:         p,
 		m:         m,
+		tenant:    tenant,
 		mByPath:   make(map[datapath.Kind]*metrics.Counter),
 		mByReason: make(map[string]*metrics.Counter),
 	}
@@ -298,13 +309,13 @@ func (e *Engine) Decide(q Request) Decision {
 	if e.m.Enabled() {
 		c := e.mByPath[d.Path]
 		if c == nil {
-			c = e.m.Counter("policy", e.p.Name(), "decide_"+d.Path.String())
+			c = e.m.CounterT("policy", e.p.Name(), "decide_"+d.Path.String(), e.tenant)
 			e.mByPath[d.Path] = c
 		}
 		c.Inc()
 		rc := e.mByReason[d.Reason]
 		if rc == nil {
-			rc = e.m.Counter("policy", e.p.Name(), "reason_"+d.Reason)
+			rc = e.m.CounterT("policy", e.p.Name(), "reason_"+d.Reason, e.tenant)
 			e.mByReason[d.Reason] = rc
 		}
 		rc.Inc()

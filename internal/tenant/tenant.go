@@ -1,0 +1,420 @@
+// Package tenant is the multi-tenant serving layer: it runs N concurrent
+// jobs — each with an independent MPI world, workload, and offload-policy
+// engine — on one shared simulated cluster, sharing fabric ports and the
+// proxy ARM cores inside a single deterministic simulation.
+//
+// The paper evaluates one job at a time; the quantitative-offloading
+// literature's core caveat is that offload only pays off while the DPU is
+// not the bottleneck. This layer makes that measurable: jobs are placed
+// side by side on every node (each job owns a slice of the node's rank
+// slots), the shared framework attributes proxy work to tenants
+// (core.Tenancy), and the figure of merit becomes aggregate goodput and
+// per-tenant tail latency instead of single-job latency.
+//
+// Rank spaces: each job sees dense job-local MPI ranks 0..nr-1 through a
+// placed world (mpi.NewPlacedWorld); the shared framework speaks global
+// ranks. The per-host peer table (core.Host.SetPeers) translates at the
+// API boundary, so job code is identical to single-tenant code.
+package tenant
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/coll"
+	"repro/internal/core"
+	"repro/internal/datapath"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/pattern"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/span"
+)
+
+// WorkloadKind selects a job's traffic shape.
+type WorkloadKind int
+
+const (
+	// Latency is a small nonblocking alltoall per iteration — the
+	// latency-bound foreground traffic whose tail the crossover bench
+	// watches.
+	Latency WorkloadKind = iota
+	// Bulk is a large nonblocking alltoall per iteration — bandwidth-bound
+	// background load that keeps the shared proxies busy.
+	Bulk
+	// Pattern replays an explicit communication pattern (pattern.Spec)
+	// through group offload.
+	Pattern
+)
+
+// String implements fmt.Stringer.
+func (k WorkloadKind) String() string {
+	switch k {
+	case Latency:
+		return "latency"
+	case Bulk:
+		return "bulk"
+	case Pattern:
+		return "pattern"
+	default:
+		return fmt.Sprintf("unknown(%d)", int(k))
+	}
+}
+
+// Workload describes what one job's ranks do.
+type Workload struct {
+	Kind WorkloadKind
+	// Size is the per-peer payload in bytes (collectives). Defaults:
+	// 8 KiB for Latency (below the adaptive policy's small-message
+	// cutoff), 512 KiB for Bulk.
+	Size int
+	// Iters is the number of measured iterations (default 10).
+	Iters int
+	// Warmup iterations precede measurement (default 2; group caches warm
+	// and measuring policies probe here).
+	Warmup int
+	// Spec is the pattern to replay (Kind == Pattern only). Jobs with more
+	// ranks than the spec leave the excess idle.
+	Spec *pattern.Spec
+}
+
+// withDefaults fills zero fields.
+func (w Workload) withDefaults() Workload {
+	if w.Size <= 0 {
+		if w.Kind == Bulk {
+			w.Size = 512 << 10
+		} else {
+			w.Size = 8 << 10
+		}
+	}
+	if w.Iters <= 0 {
+		w.Iters = 10
+	}
+	if w.Warmup < 0 {
+		w.Warmup = 0
+	} else if w.Warmup == 0 {
+		w.Warmup = 2
+	}
+	return w
+}
+
+// JobSpec is one tenant job.
+type JobSpec struct {
+	// Name labels the tenant in metrics, spans and results.
+	Name string
+	// PPN is the job's ranks per node (every job spans all nodes).
+	PPN int
+	// Policy names the offload-policy bundle deciding this job's paths
+	// (baseline.PolicyBundle; e.g. "gvmi", "hostdirect", "adaptive").
+	Policy string
+	// Weight is the job's proxy fair-share weight (<= 0 means 1).
+	Weight int
+	// Workload is the traffic the job runs.
+	Workload Workload
+}
+
+// Config describes one multi-tenant run.
+type Config struct {
+	Nodes int
+	// ProxiesPerDPU overrides the cluster default (8). Use 1 to make jobs
+	// contend for a single shared ARM worker per node — the configuration
+	// where fairness and the offload crossover are visible.
+	ProxiesPerDPU int
+	// FIFO disables weighted fair scheduling on the proxies (arrival-order
+	// dispatch; the head-of-line-blocking baseline).
+	FIFO bool
+	Jobs []JobSpec
+
+	// Metrics / Spans attach observability (free in virtual time).
+	Metrics *metrics.Registry
+	Spans   *span.Collector
+}
+
+// JobResult reports one job of a run.
+type JobResult struct {
+	Name   string
+	Policy string
+	// NRanks is the job's world size (Nodes × PPN).
+	NRanks int
+	// Iters are the pooled per-rank per-iteration completion latencies.
+	Iters []sim.Time
+	// P50/P99/Max summarize Iters.
+	P50, P99, Max sim.Time
+	// Bytes is the job's total moved payload (goodput numerator).
+	Bytes int64
+	// Finish is the completion time of the job's slowest rank.
+	Finish sim.Time
+}
+
+// Result reports one multi-tenant run.
+type Result struct {
+	Jobs []JobResult
+	// Makespan is the completion time of the slowest rank of any job.
+	Makespan sim.Time
+	// Bytes is the aggregate payload moved by all jobs.
+	Bytes int64
+}
+
+// GoodputGBps returns the aggregate goodput (total payload over makespan).
+func (r *Result) GoodputGBps() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / float64(r.Makespan)
+}
+
+// Job returns a job's result by name (nil if absent).
+func (r *Result) Job(name string) *JobResult {
+	for i := range r.Jobs {
+		if r.Jobs[i].Name == name {
+			return &r.Jobs[i]
+		}
+	}
+	return nil
+}
+
+// Run executes all jobs concurrently on one shared cluster and framework.
+// Everything is deterministic: same config, same result, independent of
+// host parallelism (runs share nothing — sweep them with bench.Sweep).
+func Run(cfg Config) (*Result, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("tenant: need at least one node")
+	}
+	if len(cfg.Jobs) == 0 {
+		return nil, fmt.Errorf("tenant: need at least one job")
+	}
+	names := make([]string, len(cfg.Jobs))
+	policies := make([]string, len(cfg.Jobs))
+	weights := make([]int, len(cfg.Jobs))
+	seen := map[string]bool{}
+	ppnTotal := 0
+	for j, job := range cfg.Jobs {
+		if job.Name == "" {
+			return nil, fmt.Errorf("tenant: job %d has no name", j)
+		}
+		if seen[job.Name] {
+			return nil, fmt.Errorf("tenant: duplicate job name %q", job.Name)
+		}
+		seen[job.Name] = true
+		if job.PPN <= 0 {
+			return nil, fmt.Errorf("tenant: job %q has ppn %d", job.Name, job.PPN)
+		}
+		if job.Workload.Kind == Pattern {
+			if job.Workload.Spec == nil {
+				return nil, fmt.Errorf("tenant: job %q: pattern workload without a spec", job.Name)
+			}
+			if nr := cfg.Nodes * job.PPN; job.Workload.Spec.NRanks > nr {
+				return nil, fmt.Errorf("tenant: job %q: pattern needs %d ranks, job has %d",
+					job.Name, job.Workload.Spec.NRanks, nr)
+			}
+		}
+		names[j], policies[j], weights[j] = job.Name, job.Policy, job.Weight
+		ppnTotal += job.PPN
+	}
+	coreCfg, err := baseline.SharedCore(policies)
+	if err != nil {
+		return nil, err
+	}
+
+	ccfg := cluster.DefaultConfig(cfg.Nodes, ppnTotal)
+	if cfg.ProxiesPerDPU > 0 {
+		ccfg.ProxiesPerDPU = cfg.ProxiesPerDPU
+	}
+	ccfg.Metrics = cfg.Metrics
+	ccfg.Spans = cfg.Spans
+	cl := cluster.New(ccfg)
+
+	// Placement: job j owns node-local slots [off, off+ppn) on every node;
+	// its job-local rank l lives on node l/ppn at global rank
+	// node*ppnTotal + off + l%ppn.
+	worlds := make([]*mpi.World, len(cfg.Jobs))
+	peers := make([][]int, len(cfg.Jobs))
+	tenantOf := make([]int, ccfg.NP())
+	sites := make([]*cluster.Site, ccfg.NP())
+	off := 0
+	for j, job := range cfg.Jobs {
+		nr := cfg.Nodes * job.PPN
+		nodeOf := make([]int, nr)
+		peers[j] = make([]int, nr)
+		for l := 0; l < nr; l++ {
+			node := l / job.PPN
+			g := node*ppnTotal + off + l%job.PPN
+			nodeOf[l] = node
+			peers[j][l] = g
+			tenantOf[g] = j
+		}
+		worlds[j] = mpi.NewPlacedWorld(cl, mpi.DefaultConfig(), fmt.Sprintf("%s.", job.Name), nodeOf)
+		for l := 0; l < nr; l++ {
+			sites[peers[j][l]] = worlds[j].Rank(l).Site()
+		}
+		off += job.PPN
+	}
+
+	fw := core.New(cl, coreCfg, sites)
+	fw.SetTenancy(&core.Tenancy{TenantOf: tenantOf, Names: names, Weights: weights, FIFO: cfg.FIFO})
+	fw.Start()
+
+	res := &Result{Jobs: make([]JobResult, len(cfg.Jobs))}
+	perRank := make([][][]sim.Time, len(cfg.Jobs))
+	finish := make([][]sim.Time, len(cfg.Jobs))
+	for j, job := range cfg.Jobs {
+		j, job := j, job
+		w := job.Workload.withDefaults()
+		nr := cfg.Nodes * job.PPN
+		jr := &res.Jobs[j]
+		jr.Name, jr.Policy, jr.NRanks = job.Name, job.Policy, nr
+		perRank[j] = make([][]sim.Time, nr)
+		finish[j] = make([]sim.Time, nr)
+
+		bundle, err := baseline.PolicyBundle(job.Policy)
+		if err != nil {
+			return nil, err
+		}
+		// One engine per job: decisions and measuring-policy tables are
+		// tenant-scoped (jobs see different proxy load), and the decision
+		// counters carry the tenant label.
+		eng := policy.NewEngineFor(bundle.New(), ccfg.Metrics, job.Name)
+
+		worlds[j].Launch(func(r *mpi.Rank) {
+			h := fw.Host(peers[j][r.RankID()])
+			h.Bind(r.Proc())
+			h.SetPeers(peers[j])
+			switch w.Kind {
+			case Pattern:
+				perRank[j][r.RankID()] = runPattern(r, h, eng, w, jr)
+			default:
+				ops := coll.NewPolicyOps(job.Policy, r, h, eng)
+				perRank[j][r.RankID()] = runAlltoall(r, ops, w)
+			}
+			finish[j][r.RankID()] = r.Now()
+		})
+	}
+
+	cl.K.Run()
+	if n := len(cl.K.Deadlocked); n > 0 {
+		return nil, fmt.Errorf("tenant: deadlocked with %d blocked processes", n)
+	}
+	fw.Stop()
+	cl.K.Run()
+	cl.K.Shutdown()
+
+	for j, job := range cfg.Jobs {
+		w := job.Workload.withDefaults()
+		jr := &res.Jobs[j]
+		for _, ds := range perRank[j] {
+			jr.Iters = append(jr.Iters, ds...)
+		}
+		sort.Slice(jr.Iters, func(a, b int) bool { return jr.Iters[a] < jr.Iters[b] })
+		jr.P50 = pct(jr.Iters, 50)
+		jr.P99 = pct(jr.Iters, 99)
+		jr.Max = pct(jr.Iters, 100)
+		for _, t := range finish[j] {
+			if t > jr.Finish {
+				jr.Finish = t
+			}
+		}
+		if w.Kind != Pattern {
+			// Every rank sends Size to each of nr-1 peers per iteration.
+			jr.Bytes = int64(w.Iters) * int64(jr.NRanks) * int64(jr.NRanks-1) * int64(w.Size)
+		}
+		if jr.Finish > res.Makespan {
+			res.Makespan = jr.Finish
+		}
+		res.Bytes += jr.Bytes
+	}
+	return res, nil
+}
+
+// pct returns the p-th percentile of a sorted slice (nearest-rank, floor
+// indexing; p=100 is the maximum).
+func pct(sorted []sim.Time, p int) sim.Time {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted) - 1) * p / 100
+	return sorted[i]
+}
+
+// runAlltoall runs the Latency/Bulk workload on one rank: warmup + measured
+// nonblocking alltoalls, returning the per-iteration latencies.
+func runAlltoall(r *mpi.Rank, ops coll.Ops, w Workload) []sim.Time {
+	np := r.Size()
+	send := r.Alloc(w.Size * np)
+	recv := r.Alloc(w.Size * np)
+	for i := 0; i < w.Warmup; i++ {
+		ops.Wait(ops.Ialltoall(0, send.Addr(), recv.Addr(), w.Size))
+	}
+	ds := make([]sim.Time, 0, w.Iters)
+	for i := 0; i < w.Iters; i++ {
+		t0 := r.Now()
+		ops.Wait(ops.Ialltoall(0, send.Addr(), recv.Addr(), w.Size))
+		ds = append(ds, r.Now()-t0)
+	}
+	return ds
+}
+
+// runPattern replays the job's pattern.Spec through group offload (the
+// pattern.Run execution model on a shared framework): ranks beyond the
+// spec's size idle, host-direct decisions clamp to the framework's default
+// path because patterns always execute on proxies.
+func runPattern(r *mpi.Rank, h *core.Host, eng *policy.Engine, w Workload, jr *JobResult) []sim.Time {
+	spec := w.Spec
+	if r.RankID() >= spec.NRanks {
+		return nil
+	}
+	ops := spec.RankOps(r.RankID())
+	bufs := make([]*mem.Buffer, len(ops))
+	maxSize := 0
+	for i, op := range ops {
+		if op.Type == core.OpSend || op.Type == core.OpRecv {
+			bufs[i] = r.Alloc(op.Size)
+		}
+		if op.Size > maxSize {
+			maxSize = op.Size
+		}
+		if op.Type == core.OpSend {
+			jr.Bytes += int64(op.Size) * int64(w.Iters)
+		}
+	}
+	groups := make(map[datapath.Kind]*core.GroupRequest)
+	groupFor := func(k datapath.Kind) *core.GroupRequest {
+		g := groups[k]
+		if g == nil {
+			g = h.GroupStartVia(k)
+			for i, op := range ops {
+				switch op.Type {
+				case core.OpSend:
+					g.Send(bufs[i].Addr(), op.Size, op.Peer, op.Tag)
+				case core.OpRecv:
+					g.Recv(bufs[i].Addr(), op.Size, op.Peer, op.Tag)
+				case core.OpBarrier:
+					g.LocalBarrier()
+				}
+			}
+			g.End()
+			groups[k] = g
+		}
+		return g
+	}
+	ds := make([]sim.Time, 0, w.Iters)
+	for c := 0; c < w.Warmup+w.Iters; c++ {
+		q := policy.Request{Class: policy.ClassGroup, Size: maxSize, Call: c}
+		kind := eng.Decide(q).Path
+		if kind == datapath.KindHostDirect {
+			kind = h.DefaultPath()
+		}
+		g := groupFor(kind)
+		t0 := r.Now()
+		h.GroupCall(g)
+		h.GroupWait(g)
+		eng.Observe(q, kind, r.Now()-t0)
+		if c >= w.Warmup {
+			ds = append(ds, r.Now()-t0)
+		}
+	}
+	return ds
+}
