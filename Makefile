@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet staticcheck race check bench bench-snapshot snapshot-check bench-smoke bench-tenants tenant-smoke wallclock
+.PHONY: all build test vet staticcheck race check bench bench-snapshot snapshot-check bench-smoke bench-tenants tenant-smoke bench-drift drift-smoke wallclock
 
 all: build
 
@@ -30,7 +30,7 @@ staticcheck:
 race:
 	$(GO) test -race ./...
 
-check: vet staticcheck build race snapshot-check tenant-smoke
+check: vet staticcheck build race snapshot-check tenant-smoke drift-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . ./internal/bench/ ./internal/sim/
@@ -68,6 +68,20 @@ tenant-smoke:
 	$(GO) run ./cmd/offloadbench tenants -parallel 4 > .tenants.p4.out
 	cmp .tenants.p1.out .tenants.p4.out
 	rm -f .tenants.p1.out .tenants.p4.out
+
+# Regenerate the checked-in mid-run-drift baseline (feedback-policy
+# re-route vs frozen Measuring) after an intentional behaviour change.
+bench-drift:
+	$(GO) run ./cmd/offloadbench bench-drift -o BENCH_drift.json
+	$(GO) test -run TestCheckedInDriftSnapshotValid ./internal/bench/
+
+# Drift smoke: validate the checked-in drift baseline (which asserts the
+# re-route claim: frozen measure degrades >= 1.5x post-arrival while
+# feedback re-probes and ties host-direct) and prove the drift figure
+# renders byte-identically serial vs parallel.
+drift-smoke:
+	$(GO) test -run 'TestCheckedInDriftSnapshotValid|TestSplitDriftWindows' ./internal/bench/
+	$(GO) test -run TestDriftFigureDeterministicAcrossParallelism ./internal/figures/
 
 # Re-record the wall-clock baseline (serial vs parallel fig13 sweep) on
 # this host. Host-dependent: commit only from a representative machine.

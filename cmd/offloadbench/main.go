@@ -137,6 +137,30 @@ func main() {
 		return
 	}
 
+	if fig == "bench-drift" {
+		path := *outp
+		if path == "" {
+			path = "BENCH_drift.json"
+		}
+		snap := bench.MeasureDrift()
+		if err := snap.Validate(); err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteDriftSnapshot(f, snap); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "wrote %s (%d points, re-route verified, %d counter series)\n",
+			path, len(snap.Series), len(snap.Metrics.Counters))
+		return
+	}
+
 	if fig == "wallclock" {
 		path := *outp
 		if path == "" {
@@ -212,6 +236,8 @@ func main() {
 			figures.FigChaos(2, p.a2aPPN(), p.seed, figures.ChaosRates, p.size, *warmup, p.it(2)).Fprint(out)
 		case "tenants":
 			figures.Tenants(2, p.tenantPPN(), p.it(8)).Fprint(out)
+		case "drift":
+			figures.Drift(2, p.tenantPPN(), p.it(80)).Fprint(out)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
 			usage()
@@ -221,7 +247,7 @@ func main() {
 
 	if fig == "all" {
 		for _, name := range []string{"fig2", "fig3", "fig4", "fig5", "fig11", "fig12",
-			"fig13", "fig14", "fig15", "fig16a", "fig16b", "fig16c", "fig17", "ablation", "policy", "ext-bf3", "ext-allgather", "chaos", "tenants"} {
+			"fig13", "fig14", "fig15", "fig16a", "fig16b", "fig16c", "fig17", "ablation", "policy", "ext-bf3", "ext-allgather", "chaos", "tenants", "drift"} {
 			run(name)
 		}
 	} else {
@@ -455,9 +481,12 @@ figures:
   chaos    Ialltoall under fault injection (rates 0, 1e-4, 1e-3, 1e-2)
   tenants  multi-tenant crossover: fg tail latency & aggregate goodput vs
            background bulk jobs on a shared single-worker proxy
+  drift    mid-run drift: fg latency before/after chatty background tenants
+           arrive and saturate the proxy (feedback policy re-routes)
   all      everything above
   bench-snapshot  regenerate the BENCH_fig13.json perf baseline (-o path)
   bench-tenants   regenerate the BENCH_tenants.json multi-tenant baseline (-o path)
+  bench-drift     regenerate the BENCH_drift.json drift baseline (-o path)
   wallclock       time the fig13 sweep serial vs parallel, verify the outputs
                   byte-identical, and write the BENCH_wallclock.json baseline
   critical-path   span-based critical path + latency attribution for the
@@ -465,7 +494,7 @@ figures:
 
 flags: -ppn N -iters N -warmup N -full -memgb N -nb N -seed N -size N
        -parallel N (sweep workers; 0 = all CPUs, 1 = serial; output identical at any value)
-       -policy NAME (offload policy: gvmi|staged|bluesmpi|hostdirect|adaptive|measure)
+       -policy NAME (offload policy: gvmi|staged|bluesmpi|hostdirect|adaptive|measure|feedback)
        -metrics PATH (export run metrics: JSON to PATH, Prometheus to PATH.prom)
        -spans PATH (export span trace: Chrome JSON to PATH, plus PATH.folded, PATH.jsonl)
        -cpuprofile PATH / -memprofile PATH (pprof capture of the run)

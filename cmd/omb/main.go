@@ -18,6 +18,10 @@
 //	            bulk jobs sharing one proxy worker per node (-bgjobs N;
 //	            -policy picks the foreground policy, recommended
 //	            -nodes 2 -ppn 2 for quick runs)
+//	drift       mid-run drift: foreground latency before/after chatty
+//	            background tenants arrive on a FIFO proxy (-policy picks
+//	            the foreground, default feedback; -iters counts foreground
+//	            iterations, recommended -nodes 2 -ppn 2 -iters 80)
 //
 // The -scheme flag selects Proposed / BluesMPI / IntelMPI for the NBC
 // benchmarks. All numbers are virtual time and deterministic.
@@ -30,6 +34,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
+	"repro/internal/sim"
 	"repro/internal/tenant"
 )
 
@@ -116,6 +121,31 @@ func main() {
 			fmt.Printf("%-8d %14.2f %14.2f %14.2f %14.2f\n",
 				i, fg.P50.Micros(), fg.P99.Micros(), r.GoodputGBps(), r.Makespan.Micros())
 		}
+	case "drift":
+		pol := cf.Policy
+		if pol == "" {
+			pol = "feedback"
+		}
+		fmt.Printf("# Drift: foreground Ialltoall latency before/after chatty background tenants arrive, %d nodes x %d PPN/job, fg policy=%s, 1 FIFO proxy/DPU\n",
+			*nodes, *ppn, pol)
+		cfg := bench.DriftCase(*nodes, *ppn, *iters, pol)
+		r, err := tenant.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "omb: drift:", err)
+			os.Exit(1)
+		}
+		fg := r.Job("fg")
+		pre, post := bench.SplitDrift(fg.Samples, bench.DriftArrival, bench.DriftSettle)
+		reprobes := r.Metrics.CounterT("policy", pol, "reason_reprobe", "fg").Value()
+		fmt.Printf("%-8s %8s %14s %14s\n", "window", "iters", "p50 (us)", "p99 (us)")
+		for _, w := range []struct {
+			name string
+			ds   []sim.Time
+		}{{"pre", pre}, {"post", post}} {
+			fmt.Printf("%-8s %8d %14.2f %14.2f\n", w.name, len(w.ds),
+				bench.Percentile(w.ds, 50).Micros(), bench.Percentile(w.ds, 99).Micros())
+		}
+		fmt.Printf("re-probe decisions: %d\n", reprobes)
 	case "ialltoall":
 		nbc(bench.MeasureIalltoall, "Ialltoall")
 	case "iallgather":
@@ -134,9 +164,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: omb <latency|bw|pingpong|ialltoall|iallgather|ibcast|tenants> [flags]
+	fmt.Fprintln(os.Stderr, `usage: omb <latency|bw|pingpong|ialltoall|iallgather|ibcast|tenants|drift> [flags]
 flags: -nodes N -ppn N -scheme Proposed|BluesMPI|IntelMPI -min B -max B -warmup N -iters N
-       -policy NAME (offload policy: gvmi|staged|bluesmpi|hostdirect|adaptive|measure; overrides -scheme)
+       -policy NAME (offload policy: gvmi|staged|bluesmpi|hostdirect|adaptive|measure|feedback; overrides -scheme)
        -bgjobs N (tenants: largest background bulk-job count swept)
        -metrics PATH -spans PATH -parallel N`)
 }

@@ -8,6 +8,7 @@
 //	patternsim -preset ring -np 8 -size 256K -mech gvmi -compute 1ms
 //	patternsim -file pattern.txt -calls 3 -nogroupcache
 //	patternsim -preset alltoall -policy adaptive -calls 4
+//	patternsim -preset ring -np 4 -tenants 4 -bgstart 500us -policy feedback
 //
 // Spec format (one op per line): "<rank> send <dst> <size> [tag]",
 // "<rank> recv <src> <size> [tag]", "<rank> barrier"; # comments.
@@ -41,6 +42,7 @@ func main() {
 		calls      = flag.Int("calls", 1, "GroupCall repetitions")
 		verify     = flag.Bool("verify", true, "payload-backed buffers with data checks")
 		tenants    = flag.Int("tenants", 1, "replicate the pattern across N tenant jobs sharing the fabric and one proxy worker per node (-policy applies; incompatible with -mech staging, -compute, cache flags)")
+		bgStartStr = flag.String("bgstart", "0", "stagger tenant arrivals: job i starts at i x this delay (e.g. 500us; mid-run arrivals drive feedback-policy re-probing)")
 	)
 	cf := bench.RegisterCommonFlags(flag.CommandLine)
 	flag.Parse()
@@ -57,7 +59,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "patternsim: -tenants runs on the shared proposed core (no -mech staging, cache flags, or -compute)")
 			os.Exit(1)
 		}
-		if err := runTenants(spec, *tenants, *nodes, *ppn, *calls, cf); err != nil {
+		bgStart, err := time.ParseDuration(*bgStartStr)
+		if (err != nil && *bgStartStr != "0") || bgStart < 0 {
+			fmt.Fprintln(os.Stderr, "patternsim: bad -bgstart:", err)
+			os.Exit(1)
+		}
+		if err := runTenants(spec, *tenants, *nodes, *ppn, *calls, sim.Time(bgStart.Nanoseconds()), cf); err != nil {
 			fmt.Fprintln(os.Stderr, "patternsim:", err)
 			os.Exit(1)
 		}
@@ -125,8 +132,11 @@ func main() {
 
 // runTenants replays the pattern as n concurrent tenant jobs on one shared
 // cluster with a single proxy worker per node, reporting per-tenant call
-// latencies and the aggregate makespan.
-func runTenants(spec *pattern.Spec, n, nodes, ppn, calls int, cf *bench.CommonFlags) error {
+// latencies and the aggregate makespan. A non-zero bgStart staggers the
+// jobs: job i sleeps i x bgStart before its first call, so later tenants
+// arrive mid-run from the earlier tenants' point of view (the drift that
+// feedback policies re-probe under).
+func runTenants(spec *pattern.Spec, n, nodes, ppn, calls int, bgStart sim.Time, cf *bench.CommonFlags) error {
 	pol := cf.Policy
 	if pol == "" {
 		pol = "gvmi"
@@ -138,7 +148,10 @@ func runTenants(spec *pattern.Spec, n, nodes, ppn, calls int, cf *bench.CommonFl
 	for i := range jobs {
 		jobs[i] = tenant.JobSpec{
 			Name: fmt.Sprintf("t%d", i), PPN: ppn, Policy: pol,
-			Workload: tenant.Workload{Kind: tenant.Pattern, Spec: spec, Iters: calls, Warmup: -1},
+			Workload: tenant.Workload{
+				Kind: tenant.Pattern, Spec: spec, Iters: calls, Warmup: -1,
+				Start: sim.Time(i) * bgStart,
+			},
 		}
 	}
 	res, err := tenant.Run(tenant.Config{

@@ -56,6 +56,10 @@ var bundles = map[string]Bundle{
 		Name: "measure", Framework: true, Core: ProposedConfig,
 		New: func() policy.Policy { return policy.NewMeasuring() },
 	},
+	"feedback": {
+		Name: "feedback", Framework: true, Core: ProposedConfig,
+		New: func() policy.Policy { return policy.NewFeedback(policy.DefaultFeedbackConfig()) },
+	},
 }
 
 // PolicyBundle resolves a -policy value.

@@ -1,0 +1,31 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The drift figure must render byte-identically at any sweep worker count
+// (the determinism contract every figure sweep carries). A short
+// foreground run is enough for the contract — the full-length crossover
+// claim is asserted by the bench snapshot tests.
+func TestDriftFigureDeterministicAcrossParallelism(t *testing.T) {
+	render := func(workers int) string {
+		var buf bytes.Buffer
+		withParallelism(t, workers, func() {
+			Drift(2, 2, 16).Fprint(&buf)
+		})
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if serial != parallel {
+		t.Fatalf("drift figure diverges between worker counts:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+	for _, pol := range []string{"gvmi", "hostdirect", "measure", "feedback"} {
+		if !strings.Contains(serial, pol) {
+			t.Fatalf("drift figure is missing the %s row:\n%s", pol, serial)
+		}
+	}
+}

@@ -230,6 +230,29 @@ func (r *Registry) GaugeT(layer, entity, name, tenant string) *Gauge {
 	return g
 }
 
+// MaxGauge returns the largest current value among every gauge named
+// (layer, *, name) — any entity, any tenant — and whether at least one such
+// gauge exists; nil-safe. Consumers that feed live load signals back into
+// decisions (the feedback offload policy watches proxy queue-depth gauges)
+// use it without having to know entity names. Map iteration order is
+// irrelevant: max is order-independent, so reads stay deterministic.
+func (r *Registry) MaxGauge(layer, name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	var max float64
+	found := false
+	for k, g := range r.gauges {
+		if k.Layer != layer || k.Name != name {
+			continue
+		}
+		if v := g.Value(); !found || v > max {
+			max, found = v, true
+		}
+	}
+	return max, found
+}
+
 // Histogram returns (creating if needed) the histogram for (layer, entity,
 // name); nil-safe.
 func (r *Registry) Histogram(layer, entity, name string) *Histogram {

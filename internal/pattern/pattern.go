@@ -216,6 +216,26 @@ func Alltoall(np, size int) *Spec {
 	return s
 }
 
+// Chatty returns a ring exchange where every rank sends k tagged messages
+// of size bytes to its right neighbour and receives k from its left. With
+// small sizes the group is bound by per-op proxy handling and injection
+// overhead rather than payload bytes — the load shape that saturates a DPU
+// worker while leaving host ports nearly idle (the drift bench's background
+// traffic).
+func Chatty(np, k, size int) *Spec {
+	s := &Spec{NRanks: np}
+	for r := 0; r < np; r++ {
+		right := (r + 1) % np
+		left := (r - 1 + np) % np
+		for i := 0; i < k; i++ {
+			s.Ops = append(s.Ops,
+				Op{Rank: r, Type: core.OpSend, Peer: right, Size: size, Tag: i},
+				Op{Rank: r, Type: core.OpRecv, Peer: left, Size: size, Tag: i})
+		}
+	}
+	return s
+}
+
 // Neighbor returns a 1D nearest-neighbour halo exchange.
 func Neighbor(np, size int) *Spec {
 	s := &Spec{NRanks: np}

@@ -9,24 +9,32 @@
 //   - Adaptive: a static size/op-class rule (one-sided traffic goes
 //     cross-GVMI; groups and point-to-point stay on the host at or below
 //     the eager cutoff — or intra-node for p2p — and offload above it);
-//   - Measuring: learns per-(op-class, size) costs online — it probes each
-//     candidate path round-robin during the first calls of a site, then
-//     freezes on the cheapest observed path.
+//   - Measuring: learns per-(op-class, size-bucket) costs online — it
+//     probes each candidate path round-robin during the first calls of a
+//     site, then freezes on the cheapest observed path;
+//   - Feedback: Measuring that never goes stale — windowed cost estimates
+//     plus drift triggers (frozen-path cost exceeding its freeze-time mean
+//     by a hysteresis factor, or proxy queue-depth gauges crossing a
+//     threshold) unfreeze the choice and re-probe, so a mid-run load shift
+//     re-routes traffic instead of degrading forever (see feedback.go).
 //
 // Decisions must be consistent across the ranks of one collective (a rank
 // building a DPU group while its peer runs host MPI deadlocks). Fixed and
 // Adaptive decide from (class, size, locality) alone, which every
 // participant sees identically. Measuring probes by call number — also
-// rank-independent — and freezes exactly once per (class, size): whichever
-// rank decides first locks the table entry for everyone (the engine is
-// shared per environment), so ranks can never diverge. For point-to-point
-// and one-sided traffic Measuring falls back to the Adaptive rule: probing
-// would need sender and receiver to flip paths in lockstep, which only
-// class/size-deterministic rules guarantee.
+// rank-independent — and freezes exactly once per (class, size-bucket):
+// whichever rank decides first locks the table entry for everyone (the
+// engine is shared per environment), so ranks can never diverge. Feedback
+// additionally memoizes every decision by call number, so ranks whose
+// Decide calls interleave with cost observations still agree. For
+// point-to-point and one-sided traffic both fall back to the Adaptive
+// rule: probing would need sender and receiver to flip paths in lockstep,
+// which only class/size-deterministic rules guarantee.
 package policy
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/datapath"
 	"repro/internal/metrics"
@@ -162,10 +170,34 @@ func adaptiveRule(q Request) Decision {
 // group operations (HostDirect groups cannot run on a proxy).
 var groupCandidates = []datapath.Kind{datapath.KindCrossGVMI, datapath.KindStaged}
 
-// costKey indexes the learned-cost table.
+// costKey indexes the learned-cost table. Sizes are bucketed by log2
+// (sizeBucket) so a site whose payload jitters by a few bytes shares one
+// learned entry instead of re-probing forever on an unboundedly growing
+// table.
 type costKey struct {
-	class OpClass
-	size  int
+	class  OpClass
+	bucket int
+}
+
+// sizeBucket maps a payload size to its log2 bucket, matching the metrics
+// histograms' convention: bucket 0 holds non-positive sizes, bucket i
+// (i >= 1) holds sizes in [2^(i-1), 2^i).
+func sizeBucket(size int) int {
+	if size <= 0 {
+		return 0
+	}
+	return bits.Len(uint(size))
+}
+
+// meanLess reports aSum/aN < bSum/bN exactly, comparing the cross-products
+// aSum*bN and bSum*aN in 128-bit integer space. Observed costs are integer
+// sim.Time sums, and the float64 division the comparison used to go
+// through ties at large magnitudes (2^53 and 2^53+1 round to the same
+// float), which silently flipped argmin outcomes.
+func meanLess(aSum sim.Time, aN int64, bSum sim.Time, bN int64) bool {
+	ah, al := bits.Mul64(uint64(aSum), uint64(bN))
+	bh, bl := bits.Mul64(uint64(bSum), uint64(aN))
+	return ah < bh || (ah == bh && al < bl)
 }
 
 // pathStats accumulates observed costs of one path at one key.
@@ -174,7 +206,7 @@ type pathStats struct {
 	sum sim.Time
 }
 
-// costEntry is the table row for one (class, size).
+// costEntry is the table row for one (class, size-bucket).
 type costEntry struct {
 	obs    map[datapath.Kind]*pathStats
 	frozen bool
@@ -211,6 +243,13 @@ func (m *Measuring) Decide(q Request) Decision {
 	if q.Call < len(groupCandidates) {
 		return Decision{Path: groupCandidates[q.Call], Reason: "probe"}
 	}
+	if !e.observed() {
+		// Both probe calls' costs were lost (a chaos drop can kill the
+		// completion that would have fed Observe). Freezing now would lock
+		// argmin on an empty table — silently cross-GVMI with reason
+		// "learned" — so keep probing round-robin until a cost lands.
+		return Decision{Path: groupCandidates[q.Call%len(groupCandidates)], Reason: "probe-retry"}
+	}
 	e.frozen = true
 	e.choice = m.argmin(e)
 	return Decision{Path: e.choice, Reason: "learned"}
@@ -235,7 +274,7 @@ func (m *Measuring) Observe(q Request, k datapath.Kind, cost sim.Time) {
 }
 
 func (m *Measuring) entry(q Request) *costEntry {
-	key := costKey{q.Class, q.Size}
+	key := costKey{q.Class, sizeBucket(q.Size)}
 	e := m.table[key]
 	if e == nil {
 		e = &costEntry{obs: make(map[datapath.Kind]*pathStats)}
@@ -244,20 +283,31 @@ func (m *Measuring) entry(q Request) *costEntry {
 	return e
 }
 
-// argmin picks the candidate with the lowest observed mean cost; an
-// unobserved candidate never wins, and a full tie keeps the first
-// candidate (cross-GVMI).
+// observed reports whether any candidate has at least one recorded cost.
+func (e *costEntry) observed() bool {
+	for _, st := range e.obs {
+		if st != nil && st.n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// argmin picks the candidate with the lowest observed mean cost, compared
+// exactly via integer cross-products (meanLess); an unobserved candidate
+// never wins, and a full tie keeps the first candidate (cross-GVMI).
 func (m *Measuring) argmin(e *costEntry) datapath.Kind {
 	best := groupCandidates[0]
-	bestMean := float64(-1)
+	var bestSum sim.Time
+	var bestN int64
+	found := false
 	for _, k := range groupCandidates {
 		st := e.obs[k]
 		if st == nil || st.n == 0 {
 			continue
 		}
-		mean := float64(st.sum) / float64(st.n)
-		if bestMean < 0 || mean < bestMean {
-			best, bestMean = k, mean
+		if !found || meanLess(st.sum, st.n, bestSum, bestN) {
+			best, bestSum, bestN, found = k, st.sum, st.n, true
 		}
 	}
 	return best
@@ -285,12 +335,23 @@ func NewEngine(p Policy, m *metrics.Registry) *Engine {
 	return NewEngineFor(p, m, "")
 }
 
+// RegistryConsumer is implemented by policies that read live load signals
+// back out of the run's metrics registry (the Feedback policy consults
+// proxy queue-depth gauges as a drift trigger). The engine attaches its
+// registry to such policies at construction.
+type RegistryConsumer interface {
+	AttachRegistry(*metrics.Registry)
+}
+
 // NewEngineFor is NewEngine with a tenant label: every decision counter is
 // recorded under it, so multi-tenant runs attribute path choices per job.
 // Each tenant job gets its own engine — Measuring then learns per job, which
 // is the correct scope (jobs see different proxy load). "" reproduces
 // NewEngine exactly.
 func NewEngineFor(p Policy, m *metrics.Registry, tenant string) *Engine {
+	if rc, ok := p.(RegistryConsumer); ok {
+		rc.AttachRegistry(m)
+	}
 	return &Engine{
 		p:         p,
 		m:         m,

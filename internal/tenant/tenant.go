@@ -80,6 +80,18 @@ type Workload struct {
 	// Spec is the pattern to replay (Kind == Pattern only). Jobs with more
 	// ranks than the spec leave the excess idle.
 	Spec *pattern.Spec
+	// Compute is per-iteration overlapped host compute (Latency/Bulk):
+	// each iteration issues the nonblocking alltoall, computes for this
+	// long, then waits — the OMB overlap shape. This is where offload
+	// pays: a DPU-progressed collective hides under the compute
+	// (iteration ≈ max(compute, comm)) while host-progressed paths
+	// serialize (≈ compute + comm). 0 keeps the pure-latency loop.
+	Compute sim.Time
+	// Start delays the job's traffic by this much virtual time: its ranks
+	// sleep before their first (warmup) iteration, so the tenant arrives
+	// mid-run from the other jobs' point of view. 0 starts at launch —
+	// the pre-drift behaviour, bit-exact.
+	Start sim.Time
 }
 
 // withDefaults fills zero fields.
@@ -134,6 +146,15 @@ type Config struct {
 	Spans   *span.Collector
 }
 
+// IterSample is one measured iteration of one rank: when it completed (in
+// virtual time) and how long it took. Stamped samples let benches window
+// latencies around an event — the drift bench splits them at the moment
+// background tenants arrive.
+type IterSample struct {
+	At  sim.Time
+	Dur sim.Time
+}
+
 // JobResult reports one job of a run.
 type JobResult struct {
 	Name   string
@@ -142,6 +163,9 @@ type JobResult struct {
 	NRanks int
 	// Iters are the pooled per-rank per-iteration completion latencies.
 	Iters []sim.Time
+	// Samples are the same latencies with completion stamps, pooled
+	// rank-major in iteration order (unsorted, deterministic).
+	Samples []IterSample
 	// P50/P99/Max summarize Iters.
 	P50, P99, Max sim.Time
 	// Bytes is the job's total moved payload (goodput numerator).
@@ -157,6 +181,12 @@ type Result struct {
 	Makespan sim.Time
 	// Bytes is the aggregate payload moved by all jobs.
 	Bytes int64
+	// Metrics is the registry the run recorded into: cfg.Metrics when one
+	// was attached, otherwise a run-private registry. A registry is always
+	// live so feedback policies see the same load signals (proxy
+	// queue-depth gauges) whether or not the caller exports metrics —
+	// recording is free in virtual time, so results are unchanged.
+	Metrics *metrics.Registry
 }
 
 // GoodputGBps returns the aggregate goodput (total payload over makespan).
@@ -224,7 +254,16 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.ProxiesPerDPU > 0 {
 		ccfg.ProxiesPerDPU = cfg.ProxiesPerDPU
 	}
-	ccfg.Metrics = cfg.Metrics
+	met := cfg.Metrics
+	if met == nil {
+		// Always record: the feedback policy's gauge-based drift trigger
+		// reads proxy backlog out of the registry, and its decisions must
+		// not depend on whether the caller asked for a metrics export.
+		// Recording is free in virtual time (guard-tested bit-exact), so
+		// every other result is unchanged.
+		met = metrics.NewRegistry()
+	}
+	ccfg.Metrics = met
 	ccfg.Spans = cfg.Spans
 	cl := cluster.New(ccfg)
 
@@ -258,8 +297,8 @@ func Run(cfg Config) (*Result, error) {
 	fw.SetTenancy(&core.Tenancy{TenantOf: tenantOf, Names: names, Weights: weights, FIFO: cfg.FIFO})
 	fw.Start()
 
-	res := &Result{Jobs: make([]JobResult, len(cfg.Jobs))}
-	perRank := make([][][]sim.Time, len(cfg.Jobs))
+	res := &Result{Jobs: make([]JobResult, len(cfg.Jobs)), Metrics: met}
+	perRank := make([][][]IterSample, len(cfg.Jobs))
 	finish := make([][]sim.Time, len(cfg.Jobs))
 	for j, job := range cfg.Jobs {
 		j, job := j, job
@@ -267,7 +306,7 @@ func Run(cfg Config) (*Result, error) {
 		nr := cfg.Nodes * job.PPN
 		jr := &res.Jobs[j]
 		jr.Name, jr.Policy, jr.NRanks = job.Name, job.Policy, nr
-		perRank[j] = make([][]sim.Time, nr)
+		perRank[j] = make([][]IterSample, nr)
 		finish[j] = make([]sim.Time, nr)
 
 		bundle, err := baseline.PolicyBundle(job.Policy)
@@ -306,7 +345,10 @@ func Run(cfg Config) (*Result, error) {
 		w := job.Workload.withDefaults()
 		jr := &res.Jobs[j]
 		for _, ds := range perRank[j] {
-			jr.Iters = append(jr.Iters, ds...)
+			jr.Samples = append(jr.Samples, ds...)
+			for _, s := range ds {
+				jr.Iters = append(jr.Iters, s.Dur)
+			}
 		}
 		sort.Slice(jr.Iters, func(a, b int) bool { return jr.Iters[a] < jr.Iters[b] })
 		jr.P50 = pct(jr.Iters, 50)
@@ -339,20 +381,31 @@ func pct(sorted []sim.Time, p int) sim.Time {
 	return sorted[i]
 }
 
-// runAlltoall runs the Latency/Bulk workload on one rank: warmup + measured
-// nonblocking alltoalls, returning the per-iteration latencies.
-func runAlltoall(r *mpi.Rank, ops coll.Ops, w Workload) []sim.Time {
+// runAlltoall runs the Latency/Bulk workload on one rank: an optional
+// arrival delay, then warmup + measured nonblocking alltoalls, returning
+// the stamped per-iteration latencies.
+func runAlltoall(r *mpi.Rank, ops coll.Ops, w Workload) []IterSample {
+	if w.Start > 0 {
+		r.Proc().Sleep(w.Start)
+	}
 	np := r.Size()
 	send := r.Alloc(w.Size * np)
 	recv := r.Alloc(w.Size * np)
-	for i := 0; i < w.Warmup; i++ {
-		ops.Wait(ops.Ialltoall(0, send.Addr(), recv.Addr(), w.Size))
+	iter := func() {
+		q := ops.Ialltoall(0, send.Addr(), recv.Addr(), w.Size)
+		if w.Compute > 0 {
+			r.Compute(w.Compute)
+		}
+		ops.Wait(q)
 	}
-	ds := make([]sim.Time, 0, w.Iters)
+	for i := 0; i < w.Warmup; i++ {
+		iter()
+	}
+	ds := make([]IterSample, 0, w.Iters)
 	for i := 0; i < w.Iters; i++ {
 		t0 := r.Now()
-		ops.Wait(ops.Ialltoall(0, send.Addr(), recv.Addr(), w.Size))
-		ds = append(ds, r.Now()-t0)
+		iter()
+		ds = append(ds, IterSample{At: r.Now(), Dur: r.Now() - t0})
 	}
 	return ds
 }
@@ -361,10 +414,13 @@ func runAlltoall(r *mpi.Rank, ops coll.Ops, w Workload) []sim.Time {
 // pattern.Run execution model on a shared framework): ranks beyond the
 // spec's size idle, host-direct decisions clamp to the framework's default
 // path because patterns always execute on proxies.
-func runPattern(r *mpi.Rank, h *core.Host, eng *policy.Engine, w Workload, jr *JobResult) []sim.Time {
+func runPattern(r *mpi.Rank, h *core.Host, eng *policy.Engine, w Workload, jr *JobResult) []IterSample {
 	spec := w.Spec
 	if r.RankID() >= spec.NRanks {
 		return nil
+	}
+	if w.Start > 0 {
+		r.Proc().Sleep(w.Start)
 	}
 	ops := spec.RankOps(r.RankID())
 	bufs := make([]*mem.Buffer, len(ops))
@@ -400,7 +456,7 @@ func runPattern(r *mpi.Rank, h *core.Host, eng *policy.Engine, w Workload, jr *J
 		}
 		return g
 	}
-	ds := make([]sim.Time, 0, w.Iters)
+	ds := make([]IterSample, 0, w.Iters)
 	for c := 0; c < w.Warmup+w.Iters; c++ {
 		q := policy.Request{Class: policy.ClassGroup, Size: maxSize, Call: c}
 		kind := eng.Decide(q).Path
@@ -413,7 +469,7 @@ func runPattern(r *mpi.Rank, h *core.Host, eng *policy.Engine, w Workload, jr *J
 		h.GroupWait(g)
 		eng.Observe(q, kind, r.Now()-t0)
 		if c >= w.Warmup {
-			ds = append(ds, r.Now()-t0)
+			ds = append(ds, IterSample{At: r.Now(), Dur: r.Now() - t0})
 		}
 	}
 	return ds
