@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet staticcheck race check bench bench-snapshot snapshot-check bench-smoke bench-tenants tenant-smoke bench-drift drift-smoke wallclock
+.PHONY: all build test vet staticcheck race check bench bench-snapshot snapshot-check bench-smoke bench-tenants tenant-smoke bench-drift drift-smoke timeline-smoke wallclock
 
 all: build
 
@@ -30,7 +30,7 @@ staticcheck:
 race:
 	$(GO) test -race ./...
 
-check: vet staticcheck build race snapshot-check tenant-smoke drift-smoke
+check: vet staticcheck build race snapshot-check tenant-smoke drift-smoke timeline-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . ./internal/bench/ ./internal/sim/
@@ -82,6 +82,24 @@ bench-drift:
 drift-smoke:
 	$(GO) test -run 'TestCheckedInDriftSnapshotValid|TestSplitDriftWindows' ./internal/bench/
 	$(GO) test -run TestDriftFigureDeterministicAcrossParallelism ./internal/figures/
+
+# Timeline smoke: the flight-recorder zero-overhead guards (a live and a
+# nil recorder both reproduce the pinned fig13 timings bit for bit), then
+# the timeline subcommand at -parallel 1 vs 4 with every export — time
+# series JSONL/Prometheus, per-policy Chrome traces, and the rendered
+# drift-attribution table (paths stripped) — compared byte for byte.
+timeline-smoke:
+	$(GO) test -run 'TestTimelineRecorderMatchesFig13Exactly|TestTimelineNilRecorderMatchesFig13Exactly|TestTimelineSweepParallelIdentical' ./internal/bench/
+	$(GO) run ./cmd/offloadbench timeline -iters 16 -parallel 1 -o .timeline.p1 > .timeline.p1.out
+	$(GO) run ./cmd/offloadbench timeline -iters 16 -parallel 4 -o .timeline.p4 > .timeline.p4.out
+	cmp .timeline.p1.jsonl .timeline.p4.jsonl
+	cmp .timeline.p1.prom .timeline.p4.prom
+	cmp .timeline.p1.measure.trace.json .timeline.p4.measure.trace.json
+	cmp .timeline.p1.feedback.trace.json .timeline.p4.feedback.trace.json
+	grep -v '^timeseries: \|^trace: ' .timeline.p1.out > .timeline.p1.tbl
+	grep -v '^timeseries: \|^trace: ' .timeline.p4.out > .timeline.p4.tbl
+	cmp .timeline.p1.tbl .timeline.p4.tbl
+	rm -f .timeline.p1.* .timeline.p4.*
 
 # Re-record the wall-clock baseline (serial vs parallel fig13 sweep) on
 # this host. Host-dependent: commit only from a representative machine.

@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/sim"
 	"repro/internal/span"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -186,6 +188,11 @@ func main() {
 		return
 	}
 
+	if fig == "timeline" {
+		runTimeline(out, p, *outp)
+		return
+	}
+
 	run := func(name string) {
 		switch name {
 		case "policy":
@@ -238,6 +245,7 @@ func main() {
 			figures.Tenants(2, p.tenantPPN(), p.it(8)).Fprint(out)
 		case "drift":
 			figures.Drift(2, p.tenantPPN(), p.it(80)).Fprint(out)
+			figures.DriftAttribution(2, p.tenantPPN(), p.it(80)).Fprint(out)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
 			usage()
@@ -309,6 +317,73 @@ func runWallclock(out *os.File, p params, path string, workers int) {
 	}
 	fmt.Fprintf(out, "wrote %s: serial %s, parallel(%d) %s, speedup %.2fx on %d cores, outputs identical=%v\n",
 		path, time.Duration(serialNS), workers, time.Duration(parNS), snap.Speedup, snap.Cores, snap.Identical)
+}
+
+// runTimeline runs the drift scenario for every foreground policy with the
+// virtual-time flight recorder attached (and span tracing for the two
+// policies whose gap is the re-route win), exports the time series, and
+// prints the drift-attribution table plus a per-policy SLO summary.
+func runTimeline(out *os.File, p params, path string) {
+	if path == "" {
+		path = "TIMELINE"
+	}
+	const nodes = 2
+	ppn := p.tenantPPN()
+	iters := p.it(80)
+	policies := []string{"gvmi", "hostdirect", "measure", "feedback"}
+	spansFor := map[string]bool{"measure": true, "feedback": true}
+	runs := bench.CollectDriftTimelines(nodes, ppn, iters, policies, spansFor)
+
+	recs := make([]*telemetry.Recorder, len(runs))
+	for i := range runs {
+		recs[i] = runs[i].Rec
+	}
+	writeTo := func(name string, fn func(io.Writer) error) {
+		f, err := os.Create(name)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	writeTo(path+".jsonl", func(w io.Writer) error { return telemetry.WriteJSONL(w, recs...) })
+	writeTo(path+".prom", func(w io.Writer) error { return telemetry.WritePrometheusTS(w, recs...) })
+	fmt.Fprintf(out, "timeseries: %s.jsonl, %s.prom (%d runs)\n", path, path, len(runs))
+
+	var atts []bench.DriftAttribution
+	for _, run := range runs {
+		if run.Spans == nil {
+			continue
+		}
+		// One trace per traced policy: the policy's span tracks plus its
+		// recorder's counter tracks in a single Chrome trace file.
+		trace := fmt.Sprintf("%s.%s.trace.json", path, run.Policy)
+		sc := run.Spans
+		extra := run.Rec.ChromeCounterLines()
+		writeTo(trace, func(w io.Writer) error { return sc.WriteChromeTraceWith(w, extra) })
+		fmt.Fprintf(out, "trace: %s (%d spans, %d counter samples)\n", trace, sc.Len(), len(extra))
+		a, err := bench.AttributeDrift(run)
+		if err != nil {
+			fatal(err)
+		}
+		atts = append(atts, a)
+	}
+	figures.DriftAttributionTable(atts).Fprint(out)
+
+	fmt.Fprintf(out, "\nSLO (objective %s, foreground job):\n", bench.DriftSLOObjective)
+	for _, run := range runs {
+		met := run.Res.Metrics
+		samples := met.CounterT("slo", "latency", "samples", "fg").Value()
+		viol := met.CounterT("slo", "latency", "violations", "fg").Value()
+		burnMax := met.GaugeT("slo", "latency", "burn_rate_max", "fg").Value()
+		fmt.Fprintf(out, "  %-10s %4d/%4d iterations violated, worst window burn %.1fx budget\n",
+			run.Policy, viol, samples, burnMax)
+	}
 }
 
 // criticalPath runs the fig13 Ialltoall loop plus a chaos run with span
@@ -491,12 +566,17 @@ figures:
                   byte-identical, and write the BENCH_wallclock.json baseline
   critical-path   span-based critical path + latency attribution for the
                   fig13 Ialltoall loop and a chaos run (-ppn, -size, -seed)
+  timeline        drift scenario with the virtual-time flight recorder: time
+                  series per policy (-o prefix: .jsonl, .prom, per-policy
+                  .trace.json), the drift-attribution table, and SLO summary
 
 flags: -ppn N -iters N -warmup N -full -memgb N -nb N -seed N -size N
        -parallel N (sweep workers; 0 = all CPUs, 1 = serial; output identical at any value)
        -policy NAME (offload policy: gvmi|staged|bluesmpi|hostdirect|adaptive|measure|feedback)
        -metrics PATH (export run metrics: JSON to PATH, Prometheus to PATH.prom)
        -spans PATH (export span trace: Chrome JSON to PATH, plus PATH.folded, PATH.jsonl)
+       -timeseries PATH (record watched metrics as bucketed virtual-time series:
+                  PATH.jsonl, PATH.prom; with -spans, counter tracks join the trace)
        -cpuprofile PATH / -memprofile PATH (pprof capture of the run)
-       -o PATH (bench-snapshot / wallclock output)`)
+       -o PATH (bench-snapshot / wallclock / timeline output)`)
 }

@@ -95,13 +95,11 @@ func SplitDrift(samples []tenant.IterSample, arrival, settle sim.Time) (pre, pos
 	return pre, post
 }
 
-// Percentile returns the p-th percentile of a sorted slice (nearest-rank,
-// floor indexing, matching the tenant layer's percentile convention).
+// Percentile returns the p-th percentile of a sorted slice. It delegates
+// to the shared metrics helper (nearest-rank, floor indexing) so every
+// table in the repo uses one convention; kept exported for the CLIs.
 func Percentile(sorted []sim.Time, p int) sim.Time {
-	if len(sorted) == 0 {
-		return 0
-	}
-	return sorted[(len(sorted)-1)*p/100]
+	return metrics.Percentile(sorted, p)
 }
 
 // DriftPoint is one foreground policy's measured behaviour around the

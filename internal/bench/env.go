@@ -15,6 +15,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/span"
+	"repro/internal/telemetry"
 )
 
 // DefaultMetrics, when set, is attached to every environment Build creates
@@ -27,6 +28,13 @@ var DefaultMetrics *metrics.Registry
 // Build attaches it to every environment that does not carry its own
 // collector. offloadbench sets it from the -spans flag.
 var DefaultSpans *span.Collector
+
+// DefaultTimeline, when set, hands every environment Build creates (that
+// does not carry its own recorder) a fresh telemetry recorder, so each
+// simulated run becomes one labelled set of time series. offloadbench sets
+// it from the -timeseries flag. Like spans, an installed timeline forces
+// sweeps serial: recorder creation order is the export order of runs.
+var DefaultTimeline *telemetry.Timeline
 
 // Options describe one benchmark environment.
 type Options struct {
@@ -48,6 +56,12 @@ type Options struct {
 	// metrics, span collection never consumes virtual time (guarded
 	// bit-exactly by TestSpansLiveCollectorMatchesFig13Exactly).
 	Spans *span.Collector
+
+	// Timeline attaches a telemetry recorder to the environment's cluster,
+	// sampling the metrics registry into virtual-time buckets. Recording
+	// never consumes virtual time (guarded bit-exactly by
+	// TestTimelineRecorderMatchesFig13Exactly).
+	Timeline *telemetry.Recorder
 }
 
 // Env is a ready-to-launch benchmark environment.
@@ -88,6 +102,15 @@ func Build(opt Options) *Env {
 			ccfg.Spans = opt.Spans
 		} else {
 			ccfg.Spans = DefaultSpans
+		}
+	}
+	if ccfg.Timeline == nil {
+		if opt.Timeline != nil {
+			ccfg.Timeline = opt.Timeline
+		} else {
+			// One fresh recorder per simulated run; a nil DefaultTimeline
+			// hands out a nil (inert) recorder.
+			ccfg.Timeline = DefaultTimeline.NewRecorder("")
 		}
 	}
 	cl := cluster.New(ccfg)

@@ -10,19 +10,22 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/metrics"
 	"repro/internal/span"
+	"repro/internal/telemetry"
 )
 
 // CommonFlags are the flags every CLI in this repo shares (-metrics, -spans,
 // -parallel, -policy). One registration helper keeps names, defaults, and
 // help text identical across offloadbench, omb, and patternsim.
 type CommonFlags struct {
-	MetricsPath string
-	SpansPath   string
-	Policy      string
-	Parallel    int
+	MetricsPath    string
+	SpansPath      string
+	TimeseriesPath string
+	Policy         string
+	Parallel       int
 
 	reg *metrics.Registry
 	sc  *span.Collector
+	tl  *telemetry.Timeline
 }
 
 // registered remembers which FlagSets already carry the common flags, so
@@ -42,6 +45,8 @@ func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
 		"write a metrics snapshot after the run: JSON to <path>, Prometheus text to <path>.prom")
 	fs.StringVar(&cf.SpansPath, "spans", "",
 		"write the run's span trace: Chrome trace JSON to <path>, folded stacks to <path>.folded, JSONL to <path>.jsonl")
+	fs.StringVar(&cf.TimeseriesPath, "timeseries", "",
+		"record watched metrics as virtual-time bucketed series: JSONL to <path>.jsonl, timestamped Prometheus text to <path>.prom (with -spans, counter tracks merge into the Chrome trace)")
 	fs.IntVar(&cf.Parallel, "parallel", 1,
 		"sweep worker count (0 = all CPUs, 1 = serial); results are identical at any value")
 	fs.StringVar(&cf.Policy, "policy", "",
@@ -67,6 +72,16 @@ func (cf *CommonFlags) Activate() int {
 		cf.sc = span.New(0)
 		DefaultSpans = cf.sc
 	}
+	if cf.TimeseriesPath != "" {
+		// The recorder samples the metrics registry, so -timeseries
+		// implies a live registry even without -metrics (only -metrics
+		// writes the snapshot files, though).
+		if DefaultMetrics == nil {
+			DefaultMetrics = metrics.NewRegistry()
+		}
+		cf.tl = telemetry.NewTimeline(telemetry.Config{})
+		DefaultTimeline = cf.tl
+	}
 	return workers
 }
 
@@ -75,6 +90,10 @@ func (cf *CommonFlags) Registry() *metrics.Registry { return cf.reg }
 
 // Spans returns the collector Activate installed (nil without -spans).
 func (cf *CommonFlags) Spans() *span.Collector { return cf.sc }
+
+// Timeline returns the timeline Activate installed (nil without
+// -timeseries).
+func (cf *CommonFlags) Timeline() *telemetry.Timeline { return cf.tl }
 
 // Finish writes the exports the flags requested and prints one summary line
 // per export to out.
@@ -86,11 +105,24 @@ func (cf *CommonFlags) Finish(out io.Writer) error {
 		fmt.Fprintf(out, "metrics: %s, %s.prom\n", cf.MetricsPath, cf.MetricsPath)
 	}
 	if cf.sc != nil {
-		if err := WriteSpanFiles(cf.SpansPath, cf.sc); err != nil {
+		// With both -spans and -timeseries, the recorders' counter tracks
+		// merge into the Chrome trace next to the span tracks.
+		var extra []string
+		for _, rec := range cf.tl.Recorders() {
+			extra = append(extra, rec.ChromeCounterLines()...)
+		}
+		if err := WriteSpanFilesWith(cf.SpansPath, cf.sc, extra); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "spans: %s, %s.folded, %s.jsonl (%d spans, %d dropped)\n",
 			cf.SpansPath, cf.SpansPath, cf.SpansPath, cf.sc.Len(), cf.sc.Dropped())
+	}
+	if cf.tl != nil {
+		if err := WriteTimeseriesFiles(cf.TimeseriesPath, cf.tl); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "timeseries: %s.jsonl, %s.prom (%d runs)\n",
+			cf.TimeseriesPath, cf.TimeseriesPath, len(cf.tl.Recorders()))
 	}
 	return nil
 }
@@ -124,11 +156,17 @@ func WriteMetricsFiles(path string, reg *metrics.Registry) error {
 // WriteSpanFiles exports the collector as Chrome trace JSON to path, folded
 // stacks to path.folded, and JSONL to path.jsonl.
 func WriteSpanFiles(path string, sc *span.Collector) error {
+	return WriteSpanFilesWith(path, sc, nil)
+}
+
+// WriteSpanFilesWith is WriteSpanFiles with extra pre-rendered trace events
+// (telemetry counter tracks) merged into the Chrome trace file.
+func WriteSpanFilesWith(path string, sc *span.Collector, extra []string) error {
 	cf, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := sc.WriteChromeTrace(cf); err != nil {
+	if err := sc.WriteChromeTraceWith(cf, extra); err != nil {
 		cf.Close()
 		return err
 	}
@@ -155,4 +193,29 @@ func WriteSpanFiles(path string, sc *span.Collector) error {
 		return err
 	}
 	return jf.Close()
+}
+
+// WriteTimeseriesFiles exports the timeline's recorders as JSONL to
+// path.jsonl and as timestamped Prometheus text to path.prom.
+func WriteTimeseriesFiles(path string, tl *telemetry.Timeline) error {
+	jf, err := os.Create(path + ".jsonl")
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteJSONL(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	pf, err := os.Create(path + ".prom")
+	if err != nil {
+		return err
+	}
+	if err := tl.WritePrometheusTS(pf); err != nil {
+		pf.Close()
+		return err
+	}
+	return pf.Close()
 }

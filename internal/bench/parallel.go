@@ -70,7 +70,9 @@ func sweep(met *metrics.Registry, sp *span.Collector, n int, job func(i int, env
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 || sp != nil {
+	// Spans and timelines both force serial execution: span IDs and
+	// recorder labels are assigned sequentially across the whole run.
+	if workers <= 1 || sp != nil || DefaultTimeline != nil {
 		for i := 0; i < n; i++ {
 			job(i, SweepEnv{Met: met, Sp: sp})
 		}

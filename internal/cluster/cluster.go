@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/span"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/verbs"
 )
@@ -61,6 +62,12 @@ type Config struct {
 	// analysis. Like Metrics, span collection never consumes virtual time;
 	// nil keeps every fast path untouched.
 	Spans *span.Collector
+
+	// Timeline, when non-nil, samples watched Metrics series into
+	// fixed-width virtual-time buckets via the kernel's tick hook. It
+	// requires Metrics (there is nothing to sample otherwise) and, like
+	// the other observers, never consumes virtual time.
+	Timeline *telemetry.Recorder
 }
 
 // DefaultConfig returns the standard testbed with the given shape.
@@ -181,6 +188,9 @@ func New(cfg Config) *Cluster {
 		f.SetSpans(cfg.Spans)
 		reg.SetSpans(cfg.Spans)
 		c.Spans = cfg.Spans
+	}
+	if cfg.Timeline.Enabled() {
+		cfg.Timeline.Start(k, cfg.Metrics)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.Nodes = append(c.Nodes, &Node{

@@ -191,6 +191,16 @@ func (s Snapshot) Validate() error {
 	return nil
 }
 
+// PromName builds the Prometheus metric name offload_<layer>_<name>, with
+// any character outside [a-zA-Z0-9_] replaced by '_'. Exported so sibling
+// exposition writers (the telemetry timestamped exporter) share the family
+// naming.
+func PromName(layer, name string) string { return promName(layer, name) }
+
+// PromLabelValue renders one label value in Prometheus text exposition
+// format (quoted, with the format's three escapes); see promLabel.
+func PromLabelValue(v string) string { return promLabel(v) }
+
 // promName builds the Prometheus metric name offload_<layer>_<name>, with
 // any character outside [a-zA-Z0-9_] replaced by '_'.
 func promName(layer, name string) string {
@@ -240,32 +250,42 @@ func promLabels(entity, tenant string) string {
 	return "entity=" + promLabel(entity) + ",tenant=" + promLabel(tenant)
 }
 
+// promHelp is the # HELP text of one metric family: where the series came
+// from inside the simulated cluster. Kept to the family's (layer, name) —
+// both are shared by every series merged under one Prometheus name.
+func promHelp(layer, name, typ string) string {
+	return fmt.Sprintf("Simulated-cluster %s %q from layer %q.", typ, name, layer)
+}
+
 // WritePrometheus writes the snapshot in Prometheus text exposition format.
 // Entities become the "entity" label (tenanted series add a "tenant" label);
 // histogram bucket bounds are emitted as cumulative le="..." series in
-// virtual nanoseconds. Series order follows the snapshot's sorted key order,
-// so output is deterministic.
+// virtual nanoseconds. Each metric family is preceded by # HELP and # TYPE
+// header lines, emitted exactly once per family as the exposition format
+// requires. Series order follows the snapshot's sorted key order, so output
+// is deterministic.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
-	typed := map[string]bool{} // emit each # TYPE line once per metric name
-	header := func(name, typ string) {
+	typed := map[string]bool{} // emit the headers once per metric name
+	header := func(name, layer, raw, typ string) {
 		if !typed[name] {
 			typed[name] = true
+			fmt.Fprintf(w, "# HELP %s %s\n", name, promHelp(layer, raw, typ))
 			fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
 		}
 	}
 	for _, c := range s.Counters {
 		n := promName(c.Layer, c.Name)
-		header(n, "counter")
+		header(n, c.Layer, c.Name, "counter")
 		fmt.Fprintf(w, "%s{%s} %d\n", n, promLabels(c.Entity, c.Tenant), c.Value)
 	}
 	for _, g := range s.Gauges {
 		n := promName(g.Layer, g.Name)
-		header(n, "gauge")
+		header(n, g.Layer, g.Name, "gauge")
 		fmt.Fprintf(w, "%s{%s} %g\n", n, promLabels(g.Entity, g.Tenant), g.Value)
 	}
 	for _, h := range s.Histograms {
 		n := promName(h.Layer, h.Name)
-		header(n, "histogram")
+		header(n, h.Layer, h.Name, "histogram")
 		lbl := promLabels(h.Entity, h.Tenant)
 		var cum int64
 		for _, b := range h.Buckets {

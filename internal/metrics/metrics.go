@@ -312,6 +312,40 @@ func (r *Registry) Merge(src *Registry) {
 	}
 }
 
+// VisitCounters calls f for every counter series, in map order (callers
+// needing determinism must be order-independent or sort); nil-safe. The
+// telemetry recorder uses the Visit methods to scan live handles on its
+// sampling hot path without allocating key slices.
+func (r *Registry) VisitCounters(f func(Key, *Counter)) {
+	if r == nil {
+		return
+	}
+	for k, c := range r.counters {
+		f(k, c)
+	}
+}
+
+// VisitGauges calls f for every gauge series, in map order; nil-safe.
+func (r *Registry) VisitGauges(f func(Key, *Gauge)) {
+	if r == nil {
+		return
+	}
+	for k, g := range r.gauges {
+		f(k, g)
+	}
+}
+
+// VisitHistograms calls f for every histogram series, in map order;
+// nil-safe.
+func (r *Registry) VisitHistograms(f func(Key, *Histogram)) {
+	if r == nil {
+		return
+	}
+	for k, h := range r.hists {
+		f(k, h)
+	}
+}
+
 // sortedKeys returns the map keys in deterministic export order.
 func sortedKeys[V any](m map[Key]V) []Key {
 	out := make([]Key, 0, len(m))

@@ -131,6 +131,7 @@ func TestPrometheusExport(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
+		`# HELP offload_fabric_msgs_tx Simulated-cluster counter "msgs_tx" from layer "fabric".`,
 		"# TYPE offload_fabric_msgs_tx counter",
 		`offload_fabric_msgs_tx{entity="n0.host"} 12`,
 		`offload_fabric_msgs_discarded{entity="n1.host"} 0`,
@@ -145,9 +146,12 @@ func TestPrometheusExport(t *testing.T) {
 			t.Fatalf("prometheus output missing %q:\n%s", want, out)
 		}
 	}
-	// One # TYPE line per metric name, even with several entities.
+	// One # HELP/# TYPE pair per metric name, even with several entities.
 	if n := strings.Count(out, "# TYPE offload_fabric_msgs_tx "); n != 1 {
 		t.Fatalf("TYPE header emitted %d times", n)
+	}
+	if n := strings.Count(out, "# HELP offload_fabric_msgs_tx "); n != 1 {
+		t.Fatalf("HELP header emitted %d times", n)
 	}
 }
 
@@ -182,7 +186,7 @@ func TestPrometheusLabelEscaping(t *testing.T) {
 	if !strings.Contains(buf.String(), want) {
 		t.Fatalf("exposition missing %s:\n%s", want, buf.String())
 	}
-	if strings.Count(buf.String(), "\n") != 2 { // TYPE line + series line
+	if strings.Count(buf.String(), "\n") != 3 { // HELP + TYPE + series line
 		t.Fatalf("raw newline leaked into exposition:\n%q", buf.String())
 	}
 
@@ -232,16 +236,20 @@ func TestPrometheusGoldenOrdering(t *testing.T) {
 		}
 		return buf.String()
 	}
-	golden := `# TYPE offload_core_ctrl_msgs counter
+	golden := `# HELP offload_core_ctrl_msgs Simulated-cluster counter "ctrl_msgs" from layer "core".
+# TYPE offload_core_ctrl_msgs counter
 offload_core_ctrl_msgs{entity="proxy0"} 5
+# HELP offload_verbs_posts Simulated-cluster counter "posts" from layer "verbs".
 # TYPE offload_verbs_posts counter
 offload_verbs_posts{entity="n0.host"} 1
 offload_verbs_posts{entity="n0.host",tenant="jobA"} 6
 offload_verbs_posts{entity="n0.host",tenant="jobB"} 7
 offload_verbs_posts{entity="n1.host"} 2
+# HELP offload_core_queue_depth Simulated-cluster gauge "queue_depth" from layer "core".
 # TYPE offload_core_queue_depth gauge
 offload_core_queue_depth{entity="proxy0"} 3
 offload_core_queue_depth{entity="proxy0",tenant="jobA"} 2
+# HELP offload_verbs_reg_latency_ns Simulated-cluster histogram "reg_latency_ns" from layer "verbs".
 # TYPE offload_verbs_reg_latency_ns histogram
 offload_verbs_reg_latency_ns_bucket{entity="all",le="0"} 1
 offload_verbs_reg_latency_ns_bucket{entity="all",le="3"} 2

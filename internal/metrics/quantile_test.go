@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Percentile follows the nearest-rank-floor convention (index
+// (len-1)*p/100) on known distributions, including the degenerate cases.
+func TestPercentileKnownDistributions(t *testing.T) {
+	seq := make([]sim.Time, 100) // 1..100
+	for i := range seq {
+		seq[i] = sim.Time(i + 1)
+	}
+	cases := []struct {
+		name   string
+		sorted []sim.Time
+		p      int
+		want   sim.Time
+	}{
+		{"empty", nil, 50, 0},
+		{"single", []sim.Time{42}, 0, 42},
+		{"single-p100", []sim.Time{42}, 100, 42},
+		{"uniform-p0", seq, 0, 1},
+		{"uniform-p50", seq, 50, 50},  // index 99*50/100 = 49
+		{"uniform-p90", seq, 90, 90},  // index 89
+		{"uniform-p99", seq, 99, 99},  // index 98
+		{"uniform-p100", seq, 100, 100},
+		{"five-p50", []sim.Time{10, 20, 30, 40, 50}, 50, 30},
+		{"five-p99", []sim.Time{10, 20, 30, 40, 50}, 99, 40}, // index 4*99/100 = 3
+		{"clamp-low", seq, -10, 1},
+		{"clamp-high", seq, 200, 100},
+	}
+	for _, c := range cases {
+		if got := Percentile(c.sorted, c.p); got != c.want {
+			t.Errorf("%s: Percentile(p=%d) = %d, want %d", c.name, c.p, got, c.want)
+		}
+	}
+}
+
+// Histogram quantiles return the inclusive upper bound of the bucket
+// holding the nearest-rank observation, with the zero bucket estimating 0.
+func TestHistogramQuantileKnownDistributions(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 || nilH.P99() != 0 {
+		t.Fatal("nil histogram quantile non-zero")
+	}
+	empty := &Histogram{}
+	if empty.P50() != 0 {
+		t.Fatal("empty histogram quantile non-zero")
+	}
+
+	// 100 observations of exactly 1000ns: every quantile is the bucket
+	// upper bound for 1000 (bucket [512, 1024) → 1023).
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 1} {
+		if got := h.Quantile(q); got != 1023 {
+			t.Fatalf("constant dist: Quantile(%g) = %d, want 1023", q, got)
+		}
+	}
+
+	// Bimodal: 90 observations at 100ns (bucket [64,128) → 127) and 10 at
+	// 1ms (bucket [2^19, 2^20) → 1048575). p50/p90 land in the low mode,
+	// p99 in the high mode.
+	h2 := &Histogram{}
+	for i := 0; i < 90; i++ {
+		h2.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(sim.Millisecond)
+	}
+	if got := h2.P50(); got != 127 {
+		t.Fatalf("bimodal P50 = %d, want 127", got)
+	}
+	if got := h2.P90(); got != 127 { // rank 90 is the last low-mode sample
+		t.Fatalf("bimodal P90 = %d, want 127", got)
+	}
+	if got := h2.P99(); got != 1048575 {
+		t.Fatalf("bimodal P99 = %d, want 1048575", got)
+	}
+
+	// Zeros live in bucket 0 and estimate exactly 0.
+	h3 := &Histogram{}
+	for i := 0; i < 9; i++ {
+		h3.Observe(0)
+	}
+	h3.Observe(5)
+	if got := h3.P50(); got != 0 {
+		t.Fatalf("zero-heavy P50 = %d, want 0", got)
+	}
+	if got := h3.Quantile(1); got != 7 { // 5 lands in [4,8) → 7
+		t.Fatalf("zero-heavy max = %d, want 7", got)
+	}
+
+	// Monotonicity across q for a spread distribution.
+	h4 := &Histogram{}
+	for _, v := range []sim.Time{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		h4.Observe(v)
+	}
+	prev := sim.Time(-1)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h4.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q=%g gave %d after %d", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -51,7 +51,7 @@ func (r *Rank) startP2PSpan(req *Request, name string, peer int) {
 	if !sp.Enabled() {
 		return
 	}
-	req.span = sp.Start(0, span.ClassRank, r.entity(), "mpi", name)
+	req.span = sp.Start(r.spanParent, span.ClassRank, r.entity(), "mpi", name)
 	sp.AttrInt(req.span, "peer", int64(peer))
 	sp.AttrInt(req.span, "size", int64(req.size))
 	sp.AttrInt(req.span, "tag", int64(req.tag))

@@ -20,6 +20,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/regcache"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/verbs"
 )
 
@@ -166,7 +167,18 @@ type Rank struct {
 	// Stats
 	MPITime     sim.Time // time spent inside blocking/progress calls
 	ComputeTime sim.Time // time spent in Compute
+
+	// spanParent, when non-zero, parents every p2p root span the rank
+	// opens. Collective wrappers that run on the host library (coll's
+	// policy-routed host-direct path) set it around the host call so the
+	// per-transfer mpi spans attach under the collective's root instead
+	// of becoming roots themselves.
+	spanParent span.ID
 }
+
+// SetSpanParent installs (or, with 0, clears) the ambient parent span of
+// the rank's subsequently created p2p spans.
+func (r *Rank) SetSpanParent(id span.ID) { r.spanParent = id }
 
 // RankID returns the rank number.
 func (r *Rank) RankID() int { return r.rank }

@@ -228,6 +228,81 @@ func TestFeedbackProbeRetryAndFallback(t *testing.T) {
 	}
 }
 
+// The engine is the only place registries reach policies: NewEngineFor
+// must hand its registry to any RegistryConsumer policy, and the
+// feedback policy's gauge readback must be inert on every degenerate
+// path — no registry attached, a nil registry, or a registry that has
+// no queue-depth gauge yet — while a live registry reads the maximum
+// across all proxy entities.
+func TestFeedbackRegistryConsumerGaugeReadback(t *testing.T) {
+	// NewEngineFor wires the registry through the RegistryConsumer
+	// interface; the policy must see the very registry the engine records
+	// into, and a nil-registry engine must attach nil (not skip the call,
+	// which would leave a stale registry from a prior attach).
+	f := NewFeedback(FeedbackConfig{})
+	reg := metrics.NewRegistry()
+	NewEngineFor(f, reg, "fg")
+	if f.reg != reg {
+		t.Fatal("NewEngineFor did not attach its registry to the RegistryConsumer policy")
+	}
+	NewEngine(f, nil)
+	if f.reg != nil {
+		t.Fatal("NewEngine(nil) left a stale registry attached")
+	}
+
+	// Detached and nil-registry reads are 0 (gauge trigger disarmed).
+	if d := (&Feedback{}).queueDepth(); d != 0 {
+		t.Fatalf("detached policy read queue depth %v, want 0", d)
+	}
+	if d := f.queueDepth(); d != 0 {
+		t.Fatalf("nil registry read queue depth %v, want 0", d)
+	}
+
+	// A live registry without the gauge reads 0; unrelated series (other
+	// layers, other names) must not leak into the readback.
+	f.AttachRegistry(reg)
+	reg.Counter("core", "proxy0", "queue_depth").Add(99) // counter, not gauge
+	reg.Gauge("fabric", "ep0", "queue_depth").Set(50)    // wrong layer
+	reg.Gauge("core", "proxy0", "inflight").Set(50)      // wrong name
+	if d := f.queueDepth(); d != 0 {
+		t.Fatalf("missing gauge read queue depth %v, want 0", d)
+	}
+
+	// With real per-proxy gauges the readback is the max across entities.
+	reg.Gauge("core", "proxy0", "queue_depth").Set(3)
+	reg.Gauge("core", "proxy1", "queue_depth").Set(12)
+	reg.GaugeT("core", "proxy2", "queue_depth", "bg").Set(7)
+	if d := f.queueDepth(); d != 12 {
+		t.Fatalf("queue depth %v, want max across entities 12", d)
+	}
+}
+
+// End to end on the degenerate path: a feedback policy frozen on a proxy
+// choice with the gauge trigger armed but no registry behind it must hold
+// the freeze forever under stable costs — the trigger is disarmed, not
+// misread as depth 0 crossing some threshold.
+func TestFeedbackGaugeTriggerInertWithoutRegistry(t *testing.T) {
+	f := NewFeedback(DefaultFeedbackConfig()) // QueueDepthLimit armed at 8
+	call := 0
+	for _, k := range fbCandidates {
+		d := f.Decide(fbReq(call))
+		cost := sim.Time(500)
+		if d.Path == datapath.KindCrossGVMI {
+			cost = 100
+		}
+		f.Observe(fbReq(call), k, cost)
+		call++
+	}
+	for i := 0; i < 3*DefaultFeedbackConfig().Cooldown; i++ {
+		d := f.Decide(fbReq(call))
+		if d.Path != datapath.KindCrossGVMI || d.Reason != "learned" {
+			t.Fatalf("call %d: %+v, want learned cross-GVMI (no registry, no trigger)", call, d)
+		}
+		f.Observe(fbReq(call), d.Path, 100)
+		call++
+	}
+}
+
 // Invalid configs fall back to the validated defaults field by field.
 func TestFeedbackConfigDefaults(t *testing.T) {
 	def := DefaultFeedbackConfig()

@@ -47,6 +47,16 @@ type Kernel struct {
 	running *Proc // process currently executing, nil in handler context
 	yield   chan struct{}
 
+	// tick, when set, fires whenever the clock reaches tickAt: it runs
+	// after the clock advances but before the event at that timestamp is
+	// dispatched, and returns the next time it wants to fire. It is a pure
+	// observer — it must not schedule events or consume virtual time — and
+	// exists so samplers (the telemetry recorder) can close fixed-width
+	// virtual-time buckets without injecting events into the heap, which
+	// would perturb seq numbering and break bit-identical timings.
+	tick   func(Time) Time
+	tickAt Time
+
 	// Deadlocked is filled by Run when it returns with processes still
 	// blocked and no events pending.
 	Deadlocked []*Proc
@@ -196,6 +206,9 @@ func (k *Kernel) step() {
 	ev.fn, ev.fnT, ev.p = nil, nil, nil
 	k.freeL = append(k.freeL, i)
 	k.now = at
+	for k.tick != nil && at >= k.tickAt {
+		k.tickAt = k.tick(at)
+	}
 	switch {
 	case p != nil:
 		k.dispatch(p)
@@ -318,11 +331,27 @@ func (k *Kernel) RunUntil(deadline Time) int {
 	}
 	if k.now < deadline {
 		k.now = deadline
+		for k.tick != nil && k.now >= k.tickAt {
+			k.tickAt = k.tick(k.now)
+		}
 	}
 	if len(k.heap) == 0 {
 		k.collectDeadlocked()
 	}
 	return fired
+}
+
+// SetTick installs the kernel's sampling hook: fn fires the first time the
+// clock reaches `first` (before the event at that timestamp is dispatched)
+// and returns the next firing time. The hook observes — it must not
+// schedule work — so installing it cannot move any simulated timestamp.
+// When the clock jumps across several firing times in one step, fn is
+// invoked repeatedly within that step until its returned time is in the
+// future, so fixed-width samplers see every bucket boundary exactly once;
+// fn must therefore advance its returned time on every call. A nil fn
+// uninstalls the hook.
+func (k *Kernel) SetTick(first Time, fn func(Time) Time) {
+	k.tick, k.tickAt = fn, first
 }
 
 // Pending reports the number of queued events.

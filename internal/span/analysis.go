@@ -46,11 +46,16 @@ func (c *Collector) CriticalPath(root ID) []Segment {
 	if c == nil {
 		return nil
 	}
+	return c.criticalPath(root, c.childIndex())
+}
+
+// criticalPath is CriticalPath against a prebuilt child index, so bulk
+// callers (Attribution) pay the O(spans) index build once, not per root.
+func (c *Collector) criticalPath(root ID, idx map[ID][]int) []Segment {
 	r, ok := c.Get(root)
 	if !ok || !r.Ended {
 		return nil
 	}
-	idx := c.childIndex()
 	var rev []Segment // built backward, reversed before returning
 	c.walk(root, r.Begin, r.End, idx, &rev)
 	out := make([]Segment, len(rev))
@@ -148,8 +153,9 @@ func (c *Collector) Attribution(roots []ID) []AttribRow {
 		return nil
 	}
 	acc := make(map[AttribKey]*AttribRow)
+	idx := c.childIndex()
 	for _, root := range roots {
-		for _, g := range c.CriticalPath(root) {
+		for _, g := range c.criticalPath(root, idx) {
 			s, ok := c.Get(g.Span)
 			if !ok {
 				continue

@@ -83,7 +83,16 @@ func (c *Collector) WriteJSONL(w io.Writer) error {
 // host call -> proxy -> HCA -> wire — is drawn as arrows across tracks.
 // Timestamps are microseconds (floats), the format's native unit.
 func (c *Collector) WriteChromeTrace(w io.Writer) error {
-	if c == nil {
+	return c.WriteChromeTraceWith(w, nil)
+}
+
+// WriteChromeTraceWith is WriteChromeTrace with extra pre-rendered trace
+// events appended to the array — the merge point for the telemetry
+// recorder's counter ("C") events, so spans and time series land in one
+// trace file. Each extra must be one complete JSON object without trailing
+// separators. A nil collector still emits the extras.
+func (c *Collector) WriteChromeTraceWith(w io.Writer, extra []string) error {
+	if c == nil && len(extra) == 0 {
 		_, err := io.WriteString(w, "[]\n")
 		return err
 	}
@@ -91,11 +100,13 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 	// which is deterministic because span creation order is.
 	tid := make(map[string]int)
 	var entities []string
-	for i := range c.spans {
-		e := c.spans[i].Entity
-		if _, ok := tid[e]; !ok {
-			tid[e] = len(entities)
-			entities = append(entities, e)
+	if c != nil {
+		for i := range c.spans {
+			e := c.spans[i].Entity
+			if _, ok := tid[e]; !ok {
+				tid[e] = len(entities)
+				entities = append(entities, e)
+			}
 		}
 	}
 	us := func(t sim.Time) float64 { return float64(t) / 1e3 }
@@ -113,8 +124,12 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 		name, _ := json.Marshal(e)
 		emit(fmt.Sprintf(`{"ph":"M","pid":0,"tid":%d,"name":"thread_name","args":{"name":%s}}`, i, name))
 	}
-	for i := range c.spans {
-		s := &c.spans[i]
+	var spans []Span
+	if c != nil {
+		spans = c.spans
+	}
+	for i := range spans {
+		s := &spans[i]
 		end := s.End
 		if !s.Ended {
 			end = s.Begin
@@ -143,6 +158,9 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 					tid[s.Entity], us(s.Begin), s.ID))
 			}
 		}
+	}
+	for _, line := range extra {
+		emit(line)
 	}
 	b.WriteString("\n]\n")
 	_, err := io.WriteString(w, b.String())

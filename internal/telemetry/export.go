@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Timeline owns the recorders of one CLI invocation: sweeps create one
+// recorder per simulated run, and the exporters write them all. A nil
+// *Timeline hands out nil recorders, so the whole layer disables at zero
+// cost (the same discipline as metrics and spans).
+type Timeline struct {
+	cfg  Config
+	recs []*Recorder
+}
+
+// NewTimeline returns an empty timeline; recorders it creates share cfg.
+func NewTimeline(cfg Config) *Timeline {
+	return &Timeline{cfg: cfg.withDefaults()}
+}
+
+// Enabled reports whether the timeline collects; nil-safe.
+func (t *Timeline) Enabled() bool { return t != nil }
+
+// NewRecorder creates and tracks a recorder labelled label (empty labels
+// auto-number as "run<N>" in creation order); nil-safe — a nil timeline
+// returns a nil (inert) recorder. Creation order is the export order of
+// runs, so callers must create recorders deterministically; the sweep
+// runner forces serial execution when a timeline is installed.
+func (t *Timeline) NewRecorder(label string) *Recorder {
+	if t == nil {
+		return nil
+	}
+	if label == "" {
+		label = fmt.Sprintf("run%d", len(t.recs))
+	}
+	r := NewRecorder(label, t.cfg)
+	t.recs = append(t.recs, r)
+	return r
+}
+
+// Recorders returns the tracked recorders in creation order; nil-safe.
+func (t *Timeline) Recorders() []*Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.recs
+}
+
+// sortSeries orders series for export: registry key order (layer, entity,
+// name, tenant), then kind.
+func sortSeries(ss []*Series) {
+	sort.Slice(ss, func(i, j int) bool {
+		a, b := ss[i], ss[j]
+		if a.Key.Layer != b.Key.Layer {
+			return a.Key.Layer < b.Key.Layer
+		}
+		if a.Key.Entity != b.Key.Entity {
+			return a.Key.Entity < b.Key.Entity
+		}
+		if a.Key.Name != b.Key.Name {
+			return a.Key.Name < b.Key.Name
+		}
+		if a.Key.Tenant != b.Key.Tenant {
+			return a.Key.Tenant < b.Key.Tenant
+		}
+		return a.Kind < b.Kind
+	})
+}
+
+// SeriesLine is the JSONL schema of one exported series: the identifying
+// dimensions, the bucket grid, and the per-bucket payload (Deltas for
+// monotone kinds, Values for gauges).
+type SeriesLine struct {
+	Run         string    `json:"run,omitempty"`
+	Layer       string    `json:"layer"`
+	Entity      string    `json:"entity"`
+	Name        string    `json:"name"`
+	Tenant      string    `json:"tenant,omitempty"`
+	Kind        string    `json:"kind"`
+	WidthNS     int64     `json:"width_ns"`
+	FirstBucket int       `json:"first_bucket"`
+	Base        int64     `json:"base,omitempty"`
+	Deltas      []int64   `json:"deltas,omitempty"`
+	Values      []float64 `json:"values,omitempty"`
+}
+
+// WriteJSONL writes every series of every recorder as one JSON object per
+// line: recorders in creation order, series in key order. This is the
+// full-fidelity format — bucket width in nanoseconds, exact per-bucket
+// deltas — the other exporters derive from.
+func WriteJSONL(w io.Writer, recs ...*Recorder) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		for _, s := range r.Sorted() {
+			line := SeriesLine{
+				Run:         r.label,
+				Layer:       s.Key.Layer,
+				Entity:      s.Key.Entity,
+				Name:        s.Key.Name,
+				Tenant:      s.Key.Tenant,
+				Kind:        s.Kind.String(),
+				WidthNS:     int64(r.cfg.Width),
+				FirstBucket: s.start,
+				Base:        s.base,
+			}
+			if s.Kind == KindGauge {
+				line.Values = make([]float64, s.n)
+				for i := 0; i < s.n; i++ {
+					line.Values[i] = s.FloatAt(i)
+				}
+			} else {
+				line.Deltas = make([]int64, s.n)
+				for i := 0; i < s.n; i++ {
+					line.Deltas[i] = s.IntAt(i)
+				}
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSONL writes the timeline's recorders as JSONL; nil-safe.
+func (t *Timeline) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, t.Recorders()...)
+}
+
+// tsName maps a series to its Prometheus family name: histograms expand to
+// the conventional _count/_sum suffixes.
+func tsName(s *Series) string {
+	n := metrics.PromName(s.Key.Layer, s.Key.Name)
+	switch s.Kind {
+	case KindHistCount:
+		n += "_count"
+	case KindHistSum:
+		n += "_sum"
+	}
+	return n
+}
+
+// tsLabels renders one series' label set: entity, optional tenant, and the
+// recorder's run label when present.
+func tsLabels(s *Series, run string) string {
+	var b strings.Builder
+	b.WriteString("entity=")
+	b.WriteString(metrics.PromLabelValue(s.Key.Entity))
+	if s.Key.Tenant != "" {
+		b.WriteString(",tenant=")
+		b.WriteString(metrics.PromLabelValue(s.Key.Tenant))
+	}
+	if run != "" {
+		b.WriteString(",run=")
+		b.WriteString(metrics.PromLabelValue(run))
+	}
+	return b.String()
+}
+
+// WritePrometheusTS writes the recorders as timestamped Prometheus text
+// exposition: one sample per bucket per series, timestamped with the bucket
+// end in integer milliseconds of virtual time (the exposition format's
+// timestamp unit — sub-millisecond buckets collapse onto shared
+// timestamps; JSONL is the full-fidelity export). Monotone kinds expose
+// cumulative values (base + running delta sum) so they read like scraped
+// counters; gauges expose their sampled values.
+func WritePrometheusTS(w io.Writer, recs ...*Recorder) error {
+	typed := map[string]bool{}
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		for _, s := range r.Sorted() {
+			name := tsName(s)
+			if !typed[name] {
+				typed[name] = true
+				typ := "counter"
+				if s.Kind == KindGauge {
+					typ = "gauge"
+				}
+				fmt.Fprintf(w, "# HELP %s Simulated-cluster time series %q from layer %q (virtual-time buckets).\n",
+					name, s.Key.Name, s.Key.Layer)
+				fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+			}
+			lbl := tsLabels(s, r.label)
+			cum := s.base
+			for i := 0; i < s.n; i++ {
+				end := sim.Time(s.start+i+1) * r.cfg.Width
+				ms := int64(end) / 1e6
+				if s.Kind == KindGauge {
+					fmt.Fprintf(w, "%s{%s} %g %d\n", name, lbl, s.FloatAt(i), ms)
+				} else {
+					cum += s.IntAt(i)
+					fmt.Fprintf(w, "%s{%s} %d %d\n", name, lbl, cum, ms)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WritePrometheusTS writes the timeline's recorders as timestamped
+// Prometheus text; nil-safe.
+func (t *Timeline) WritePrometheusTS(w io.Writer) error {
+	return WritePrometheusTS(w, t.Recorders()...)
+}
+
+// chromeSeriesName labels one series in a Chrome trace counter track.
+func chromeSeriesName(s *Series) string {
+	n := s.Key.Layer + "/" + s.Key.Entity + "/" + s.Key.Name
+	if s.Key.Tenant != "" {
+		n += "/" + s.Key.Tenant
+	}
+	switch s.Kind {
+	case KindHistCount:
+		n += ":count"
+	case KindHistSum:
+		n += ":sum"
+	}
+	return n
+}
+
+// ChromeCounterLines renders the recorder's series as Chrome trace counter
+// events ("ph":"C") for span.WriteChromeTraceWith, so a span trace and the
+// time series land in one trace file. To keep traces tractable, a sample
+// is emitted only when the series' value changes (plus the first and last
+// retained bucket) — trace viewers hold counter tracks flat between
+// samples. Monotone kinds plot per-bucket rates (delta per bucket), which
+// is the readable form for goodput/ops tracks; nil-safe.
+func (r *Recorder) ChromeCounterLines() []string {
+	if r == nil {
+		return nil
+	}
+	var out []string
+	pid := 1
+	for _, s := range r.Sorted() {
+		name := chromeSeriesName(s)
+		if r.label != "" {
+			name = r.label + "/" + name
+		}
+		emit := func(i int, v float64) {
+			endUS := float64(sim.Time(s.start+i+1)*r.cfg.Width) / 1e3
+			out = append(out, fmt.Sprintf(
+				`{"ph":"C","pid":%d,"tid":0,"ts":%.3f,"name":%s,"args":{"value":%g}}`,
+				pid, endUS, jsonString(name), v))
+		}
+		var prev float64
+		for i := 0; i < s.n; i++ {
+			var v float64
+			if s.Kind == KindGauge {
+				v = s.FloatAt(i)
+			} else {
+				v = float64(s.IntAt(i))
+			}
+			if i == 0 || i == s.n-1 || v != prev {
+				emit(i, v)
+			}
+			prev = v
+		}
+	}
+	return out
+}
+
+// jsonString renders s as a JSON string literal.
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/span"
+	"repro/internal/telemetry"
 )
 
 // WorkloadKind selects a job's traffic shape.
@@ -127,6 +128,11 @@ type JobSpec struct {
 	Weight int
 	// Workload is the traffic the job runs.
 	Workload Workload
+	// SLO, when its Objective is set, tracks this job's measured iteration
+	// latencies against the objective: per-tenant violation counters and
+	// windowed burn-rate gauges land in the run's registry under the "slo"
+	// layer (telemetry.SLOTracker). Zero disables tracking.
+	SLO telemetry.SLOConfig
 }
 
 // Config describes one multi-tenant run.
@@ -144,6 +150,11 @@ type Config struct {
 	// Metrics / Spans attach observability (free in virtual time).
 	Metrics *metrics.Registry
 	Spans   *span.Collector
+	// Timeline, when non-nil, samples the run's registry into virtual-time
+	// buckets (fabric goodput, proxy queue depth, per-tenant HOL wait, SLO
+	// burn become time series). Like the other sinks it never consumes
+	// virtual time.
+	Timeline *telemetry.Recorder
 }
 
 // IterSample is one measured iteration of one rank: when it completed (in
@@ -265,6 +276,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	ccfg.Metrics = met
 	ccfg.Spans = cfg.Spans
+	ccfg.Timeline = cfg.Timeline
 	cl := cluster.New(ccfg)
 
 	// Placement: job j owns node-local slots [off, off+ppn) on every node;
@@ -317,6 +329,10 @@ func Run(cfg Config) (*Result, error) {
 		// tenant-scoped (jobs see different proxy load), and the decision
 		// counters carry the tenant label.
 		eng := policy.NewEngineFor(bundle.New(), ccfg.Metrics, job.Name)
+		// One tracker per job (nil when the job sets no objective): all
+		// ranks' measured iterations pool into the same tenant-labelled
+		// series, matching how JobResult pools Iters.
+		slo := telemetry.NewSLOTracker(met, job.Name, job.SLO)
 
 		worlds[j].Launch(func(r *mpi.Rank) {
 			h := fw.Host(peers[j][r.RankID()])
@@ -324,10 +340,10 @@ func Run(cfg Config) (*Result, error) {
 			h.SetPeers(peers[j])
 			switch w.Kind {
 			case Pattern:
-				perRank[j][r.RankID()] = runPattern(r, h, eng, w, jr)
+				perRank[j][r.RankID()] = runPattern(r, h, eng, w, slo, jr)
 			default:
 				ops := coll.NewPolicyOps(job.Policy, r, h, eng)
-				perRank[j][r.RankID()] = runAlltoall(r, ops, w)
+				perRank[j][r.RankID()] = runAlltoall(r, ops, w, slo)
 			}
 			finish[j][r.RankID()] = r.Now()
 		})
@@ -351,9 +367,9 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		sort.Slice(jr.Iters, func(a, b int) bool { return jr.Iters[a] < jr.Iters[b] })
-		jr.P50 = pct(jr.Iters, 50)
-		jr.P99 = pct(jr.Iters, 99)
-		jr.Max = pct(jr.Iters, 100)
+		jr.P50 = metrics.Percentile(jr.Iters, 50)
+		jr.P99 = metrics.Percentile(jr.Iters, 99)
+		jr.Max = metrics.Percentile(jr.Iters, 100)
 		for _, t := range finish[j] {
 			if t > jr.Finish {
 				jr.Finish = t
@@ -371,20 +387,10 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// pct returns the p-th percentile of a sorted slice (nearest-rank, floor
-// indexing; p=100 is the maximum).
-func pct(sorted []sim.Time, p int) sim.Time {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := (len(sorted) - 1) * p / 100
-	return sorted[i]
-}
-
 // runAlltoall runs the Latency/Bulk workload on one rank: an optional
 // arrival delay, then warmup + measured nonblocking alltoalls, returning
 // the stamped per-iteration latencies.
-func runAlltoall(r *mpi.Rank, ops coll.Ops, w Workload) []IterSample {
+func runAlltoall(r *mpi.Rank, ops coll.Ops, w Workload, slo *telemetry.SLOTracker) []IterSample {
 	if w.Start > 0 {
 		r.Proc().Sleep(w.Start)
 	}
@@ -405,7 +411,9 @@ func runAlltoall(r *mpi.Rank, ops coll.Ops, w Workload) []IterSample {
 	for i := 0; i < w.Iters; i++ {
 		t0 := r.Now()
 		iter()
-		ds = append(ds, IterSample{At: r.Now(), Dur: r.Now() - t0})
+		d := r.Now() - t0
+		slo.Observe(d)
+		ds = append(ds, IterSample{At: r.Now(), Dur: d})
 	}
 	return ds
 }
@@ -414,7 +422,7 @@ func runAlltoall(r *mpi.Rank, ops coll.Ops, w Workload) []IterSample {
 // pattern.Run execution model on a shared framework): ranks beyond the
 // spec's size idle, host-direct decisions clamp to the framework's default
 // path because patterns always execute on proxies.
-func runPattern(r *mpi.Rank, h *core.Host, eng *policy.Engine, w Workload, jr *JobResult) []IterSample {
+func runPattern(r *mpi.Rank, h *core.Host, eng *policy.Engine, w Workload, slo *telemetry.SLOTracker, jr *JobResult) []IterSample {
 	spec := w.Spec
 	if r.RankID() >= spec.NRanks {
 		return nil
@@ -469,7 +477,9 @@ func runPattern(r *mpi.Rank, h *core.Host, eng *policy.Engine, w Workload, jr *J
 		h.GroupWait(g)
 		eng.Observe(q, kind, r.Now()-t0)
 		if c >= w.Warmup {
-			ds = append(ds, IterSample{At: r.Now(), Dur: r.Now() - t0})
+			d := r.Now() - t0
+			slo.Observe(d)
+			ds = append(ds, IterSample{At: r.Now(), Dur: d})
 		}
 	}
 	return ds
