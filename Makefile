@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet staticcheck race check bench bench-snapshot snapshot-check bench-smoke bench-tenants tenant-smoke bench-drift drift-smoke timeline-smoke wallclock
+.PHONY: all build test vet staticcheck race check bench bench-snapshot snapshot-check bench-smoke bench-tenants tenant-smoke bench-drift drift-smoke timeline-smoke scale-smoke bench-scale wallclock
 
 all: build
 
@@ -30,7 +30,7 @@ staticcheck:
 race:
 	$(GO) test -race ./...
 
-check: vet staticcheck build race snapshot-check tenant-smoke drift-smoke timeline-smoke
+check: vet staticcheck build race snapshot-check tenant-smoke drift-smoke timeline-smoke scale-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . ./internal/bench/ ./internal/sim/
@@ -100,6 +100,24 @@ timeline-smoke:
 	grep -v '^timeseries: \|^trace: ' .timeline.p4.out > .timeline.p4.tbl
 	cmp .timeline.p1.tbl .timeline.p4.tbl
 	rm -f .timeline.p1.* .timeline.p4.*
+
+# Scale smoke: the sharded-kernel determinism guards (full fig13 snapshot
+# bytes at -shards {0,2,4} vs serial), schema validation of the checked-in
+# 1024-rank baseline, then a reduced 256-rank scale run at -shards 4 vs
+# serial, byte-compared — the two-sided guard at the scale shape itself.
+scale-smoke:
+	$(GO) test -run 'TestSharded|TestCheckedInScaleSnapshotValid' ./internal/sim/ ./internal/bench/
+	$(GO) run ./cmd/offloadbench scale -maxranks 256 -shards 1 -o .scale.s1.json > .scale.s1.out
+	$(GO) run ./cmd/offloadbench scale -maxranks 256 -shards 4 -o .scale.s4.json > .scale.s4.out
+	cmp .scale.s1.json .scale.s4.json
+	rm -f .scale.s1.json .scale.s4.json .scale.s1.out .scale.s4.out
+
+# Regenerate the checked-in 1024-rank scaling baseline after an intentional
+# timing change (a few minutes of wall clock: the 1024-rank alltoall posts
+# ~1M RDMA writes per iteration).
+bench-scale:
+	$(GO) run ./cmd/offloadbench scale -shards 0 -o BENCH_scale.json
+	$(GO) test -run TestCheckedInScaleSnapshotValid ./internal/bench/
 
 # Re-record the wall-clock baseline (serial vs parallel fig13 sweep) on
 # this host. Host-dependent: commit only from a representative machine.

@@ -49,7 +49,8 @@ func main() {
 		memGB  = fs.Int("memgb", 0, "HPL memory per node in GB (0 = default)")
 		nb     = fs.Int("nb", 256, "HPL block size")
 		seed   = fs.Int64("seed", 42, "chaos fault-injection seed")
-		size   = fs.Int("size", 32<<10, "chaos message size in bytes")
+		size   = fs.Int("size", 32<<10, "chaos/scale message size in bytes")
+		maxrk  = fs.Int("maxranks", 0, "scale: largest rank count of the sweep (0 = full 128..1024)")
 		outp   = fs.String("o", "", "output path (bench-snapshot: BENCH_fig13.json, wallclock: BENCH_wallclock.json)")
 		cprof  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to <path>")
 		mprof  = fs.String("memprofile", "", "write a pprof heap profile after the run to <path>")
@@ -160,6 +161,53 @@ func main() {
 		}
 		fmt.Fprintf(out, "wrote %s (%d points, re-route verified, %d counter series)\n",
 			path, len(snap.Series), len(snap.Metrics.Counters))
+		return
+	}
+
+	if fig == "scale" {
+		path := *outp
+		if path == "" {
+			path = "BENCH_scale.json"
+		}
+		cfg := bench.DefaultScaleConfig()
+		if p.ppn > 0 {
+			cfg.PPN = p.ppn
+		}
+		cfg.Size = p.size
+		if p.iters > 0 {
+			cfg.Iters = p.iters
+		}
+		if *maxrk > 0 {
+			var ranks []int
+			for _, r := range cfg.Ranks {
+				if r <= *maxrk {
+					ranks = append(ranks, r)
+				}
+			}
+			if len(ranks) == 0 {
+				fatal(fmt.Errorf("scale: -maxranks %d keeps no rank count of %v", *maxrk, cfg.Ranks))
+			}
+			cfg.Ranks = ranks
+		}
+		t0 := time.Now()
+		snap := bench.MeasureScale(cfg)
+		wall := time.Since(t0)
+		if err := snap.Validate(); err != nil {
+			fatal(err)
+		}
+		figures.ScaleTable(snap).Fprint(out)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteScaleSnapshot(f, snap); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "wrote %s (%d rank counts up to %d, claims validated, %s wall, shards=%d)\n",
+			path, len(snap.Series), snap.Series[len(snap.Series)-1].Ranks, wall.Round(time.Millisecond), cf.Shards)
 		return
 	}
 
@@ -559,6 +607,9 @@ figures:
   drift    mid-run drift: fg latency before/after chatty background tenants
            arrive and saturate the proxy (feedback policy re-routes)
   all      everything above
+  scale    fig13 collective shapes at 128/256/512/1024 ranks, validating the
+           paper's ordering/overlap claims at scale; writes BENCH_scale.json
+           (-o path, -maxranks N for a reduced prefix, -size/-ppn/-iters)
   bench-snapshot  regenerate the BENCH_fig13.json perf baseline (-o path)
   bench-tenants   regenerate the BENCH_tenants.json multi-tenant baseline (-o path)
   bench-drift     regenerate the BENCH_drift.json drift baseline (-o path)
@@ -572,6 +623,8 @@ figures:
 
 flags: -ppn N -iters N -warmup N -full -memgb N -nb N -seed N -size N
        -parallel N (sweep workers; 0 = all CPUs, 1 = serial; output identical at any value)
+       -shards N (lookahead-sharded kernel execution; 0 = one shard per node,
+                  1 = serial loop; output identical at any value)
        -policy NAME (offload policy: gvmi|staged|bluesmpi|hostdirect|adaptive|measure|feedback)
        -metrics PATH (export run metrics: JSON to PATH, Prometheus to PATH.prom)
        -spans PATH (export span trace: Chrome JSON to PATH, plus PATH.folded, PATH.jsonl)

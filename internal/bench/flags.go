@@ -22,6 +22,7 @@ type CommonFlags struct {
 	TimeseriesPath string
 	Policy         string
 	Parallel       int
+	Shards         int
 
 	reg *metrics.Registry
 	sc  *span.Collector
@@ -49,6 +50,8 @@ func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
 		"record watched metrics as virtual-time bucketed series: JSONL to <path>.jsonl, timestamped Prometheus text to <path>.prom (with -spans, counter tracks merge into the Chrome trace)")
 	fs.IntVar(&cf.Parallel, "parallel", 1,
 		"sweep worker count (0 = all CPUs, 1 = serial); results are identical at any value")
+	fs.IntVar(&cf.Shards, "shards", 1,
+		"kernel event shards per simulation (0 = one per node, 1 = serial); results are identical at any value")
 	fs.StringVar(&cf.Policy, "policy", "",
 		"offload policy: "+strings.Join(baseline.PolicyNames(), " | ")+" (empty = scheme default)")
 	return cf
@@ -64,6 +67,7 @@ func (cf *CommonFlags) Activate() int {
 		workers = DefaultParallelism()
 	}
 	Parallelism = workers
+	Shards = cf.Shards
 	if cf.MetricsPath != "" {
 		cf.reg = metrics.NewRegistry()
 		DefaultMetrics = cf.reg

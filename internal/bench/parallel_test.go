@@ -3,6 +3,8 @@ package bench
 import (
 	"os"
 	"reflect"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/metrics"
@@ -62,6 +64,34 @@ func TestSweepIndexOrdering(t *testing.T) {
 		if v != i+1 {
 			t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
 		}
+	}
+}
+
+// Worker-pool sizing clamps to the job count: a 4-job sweep at -parallel 16
+// must spin up at most 4 worker goroutines, not 16 idle ones. The jobs gate
+// on each other so all clamped workers are provably alive at the sample
+// point, then the goroutine census bounds the pool size.
+func TestSweepClampsWorkersToJobCount(t *testing.T) {
+	const jobs = 4
+	baseline := runtime.NumGoroutine()
+	var started atomic.Int64
+	release := make(chan struct{})
+	sampled := make(chan int, 1)
+	withParallelism(t, 16, func() {
+		Sweep(jobs, func(i int, _ SweepEnv) {
+			if started.Add(1) == jobs {
+				// Every job is now parked inside a distinct worker; any
+				// goroutine beyond baseline+jobs would be an idle worker.
+				sampled <- runtime.NumGoroutine()
+				close(release)
+			}
+			<-release
+		})
+	})
+	extra := <-sampled - baseline
+	if extra > jobs {
+		t.Fatalf("sweep of %d jobs ran %d extra goroutines; want at most %d (workers must clamp to the job count)",
+			jobs, extra, jobs)
 	}
 }
 

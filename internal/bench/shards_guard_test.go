@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"repro/internal/baseline"
+)
+
+// setShards installs a bench-global shard count for the duration of one
+// guard run and restores the serial default afterwards.
+func setShards(t *testing.T, n int) {
+	t.Helper()
+	prev := Shards
+	Shards = n
+	t.Cleanup(func() { Shards = prev })
+}
+
+// snapshotBytes renders a full fig13 snapshot — timings plus the complete
+// metrics section — as canonical JSON.
+func snapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	b, err := json.Marshal(Fig13Snapshot())
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	return b
+}
+
+// The two-sided determinism guard for lookahead sharding: the entire fig13
+// snapshot — every virtual timing and every metrics series — must be
+// byte-identical whether the kernel runs serial, with an explicit shard
+// count, or with one shard per node. GOMAXPROCS is forced above 1 so the
+// sharded runs really extract windows on worker goroutines.
+func TestShardedFig13ByteIdenticalToSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig13 sweep; skipped in -short")
+	}
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	setShards(t, 1)
+	serial := snapshotBytes(t)
+
+	for _, n := range []int{0, 2, 4} {
+		setShards(t, n)
+		got := snapshotBytes(t)
+		if string(got) != string(serial) {
+			t.Errorf("-shards %d snapshot differs from serial:\nserial: %s\nshards: %s", n, serial, got)
+		}
+	}
+}
+
+// The same guard at a shape where multiple shards really carry load:
+// a 4-node Ialltoall, serial vs 4 shards, exact virtual-time equality.
+func TestShardedIalltoallMatchesSerialAtFourNodes(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	run := func(shards int) NBCResult {
+		setShards(t, shards)
+		return MeasureIalltoall(Options{
+			Nodes: 4, PPN: 4, Scheme: baseline.NameProposed, Backed: false,
+		}, 16<<10, 1, 2)
+	}
+	serial := run(1)
+	sharded := run(4)
+	if serial != sharded {
+		t.Fatalf("sharded Ialltoall differs from serial:\nserial:  %+v\nsharded: %+v", serial, sharded)
+	}
+}

@@ -206,6 +206,16 @@ func (f *Fabric) Latency(src, dst *Endpoint) sim.Time {
 	return f.cfg.WireLatency
 }
 
+// MinLatency returns the smallest flight latency any message can have — the
+// conservative lookahead bound for sharded execution: no delivery scheduled
+// by a transfer lands sooner than this after its injection.
+func (f *Fabric) MinLatency() sim.Time {
+	if f.cfg.LocalLatency < f.cfg.WireLatency {
+		return f.cfg.LocalLatency
+	}
+	return f.cfg.WireLatency
+}
+
 // Transfer injects a message of size bytes from src to dst and schedules
 // deliver (which may be nil) in handler context at the arrival time.
 // It returns the time the sender endpoint is free again (local completion)
@@ -214,14 +224,28 @@ func (f *Fabric) Latency(src, dst *Endpoint) sim.Time {
 // Transfer may be called from process or handler context; it never blocks.
 // CPU costs of composing the message are the caller's business.
 func (f *Fabric) Transfer(src, dst *Endpoint, size int, deliver func()) (txDone, arrive sim.Time) {
-	return f.transfer(src, dst, size, deliver, fault.FateDeliver, 0)
+	return f.transfer(src, dst, size, deliver, nil, fault.FateDeliver, 0)
 }
 
 // TransferCtx is Transfer carrying span context: when a collector is
 // attached, the transfer's injection and wire spans are recorded as
 // children of parent. Timing is identical to Transfer.
 func (f *Fabric) TransferCtx(src, dst *Endpoint, size int, deliver func(), parent span.ID) (txDone, arrive sim.Time) {
-	return f.transfer(src, dst, size, deliver, fault.FateDeliver, parent)
+	return f.transfer(src, dst, size, deliver, nil, fault.FateDeliver, parent)
+}
+
+// TransferAction is Transfer delivering to a pooled sim.Action instead of a
+// closure: the hot per-message path for callers that recycle their delivery
+// records (the verbs layer's completion flights), so steady-state traffic
+// schedules nothing on the heap. Timing is identical to Transfer.
+func (f *Fabric) TransferAction(src, dst *Endpoint, size int, act sim.Action) (txDone, arrive sim.Time) {
+	return f.transfer(src, dst, size, nil, act, fault.FateDeliver, 0)
+}
+
+// TransferActionCtx is TransferAction carrying span context (see
+// TransferCtx).
+func (f *Fabric) TransferActionCtx(src, dst *Endpoint, size int, act sim.Action, parent span.ID) (txDone, arrive sim.Time) {
+	return f.transfer(src, dst, size, nil, act, fault.FateDeliver, parent)
 }
 
 // TransferFated is Transfer with fault injection: the attached injector
@@ -250,14 +274,16 @@ func (f *Fabric) TransferFatedCtx(src, dst *Endpoint, size int, deliver func(), 
 		f.inj.Note(f.k.Now(), "fabric", fate.String(),
 			fmt.Sprintf("%s->%s size=%d", src.name, dst.name, size))
 	}
-	txDone, arrive = f.transfer(src, dst, size, deliver, fate, parent)
+	txDone, arrive = f.transfer(src, dst, size, deliver, nil, fate, parent)
 	delivered = fate == fault.FateDeliver || fate == fault.FateDelay
 	return txDone, arrive, delivered, fate
 }
 
 // transfer computes endpoint occupancy and schedules delivery according to
-// the message's fate.
-func (f *Fabric) transfer(src, dst *Endpoint, size int, deliver func(), fate fault.Fate, parent span.ID) (txDone, arrive sim.Time) {
+// the message's fate. Exactly one of deliver/act carries the delivery (both
+// may be nil for fire-and-forget). The delivery event is tagged with the
+// receiving node's shard so sharded runs keep arrivals on their home heap.
+func (f *Fabric) transfer(src, dst *Endpoint, size int, deliver func(), act sim.Action, fate fault.Fate, parent span.ID) (txDone, arrive sim.Time) {
 	if src == nil || dst == nil {
 		panic("fabric: nil endpoint")
 	}
@@ -347,8 +373,13 @@ func (f *Fabric) transfer(src, dst *Endpoint, size int, deliver func(), fate fau
 		f.sp.EndAt(wire, arrive)
 	}
 
-	if deliver != nil {
-		f.k.At(arrive-now, deliver)
+	if deliver != nil || act != nil {
+		shard := f.k.ShardIndex(dst.node)
+		if act != nil {
+			f.k.AtActionShard(shard, arrive-now, act)
+		} else {
+			f.k.AtShard(shard, arrive-now, deliver)
+		}
 	}
 	return txDone, arrive
 }

@@ -1,0 +1,32 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+)
+
+// ScaleTable renders the scaling snapshot (ROADMAP item 1: the fig13/fig14
+// claims re-checked beyond the paper's 16 nodes, up to 1024 ranks).
+func ScaleTable(s bench.ScaleSnapshot) *bench.Table {
+	t := &bench.Table{
+		Title: fmt.Sprintf("Scale: Ialltoall overall time, %s per peer x %d PPN (us)",
+			bench.SizeLabel(s.Config.Size), s.Config.PPN),
+		Headers: []string{"Ranks", "BluesMPI", "Proposed", "IntelMPI",
+			"vs BluesMPI", "vs IntelMPI", "Overlap(P)"},
+	}
+	for _, pt := range s.Series {
+		b := pt.Scheme(baseline.NameBluesMPI)
+		p := pt.Scheme(baseline.NameProposed)
+		in := pt.Scheme(baseline.NameIntelMPI)
+		t.AddRow(fmt.Sprintf("%d", pt.Ranks),
+			bench.F2(float64(b.OverallNS)/1e3), bench.F2(float64(p.OverallNS)/1e3),
+			bench.F2(float64(in.OverallNS)/1e3),
+			bench.Pct(pt.VsBluesMPIPct), bench.Pct(pt.VsIntelMPIPct),
+			bench.Pct(p.OverlapPct))
+	}
+	t.Notes = append(t.Notes,
+		"paper stops at 16 nodes; this sweep re-checks the fig13/fig14 ordering up to 1024 ranks")
+	return t
+}

@@ -95,7 +95,7 @@ func Run(spec *Spec, opt RunOptions) (*RunResult, error) {
 		r := r
 		ops := spec.RankOps(r)
 		h := fw.Host(r)
-		cl.K.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+		proc := cl.K.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
 			h.Bind(p)
 			bufs := make([]*mem.Buffer, len(ops))
 			for i, op := range ops {
@@ -169,6 +169,7 @@ func Run(spec *Spec, opt RunOptions) (*RunResult, error) {
 				}
 			}
 		})
+		proc.SetShard(cl.K.ShardIndex(cl.NodeOfRank(r)))
 	}
 	cl.K.Run()
 	if n := len(cl.K.Deadlocked); n > 0 {

@@ -5,21 +5,39 @@ import (
 	"fmt"
 )
 
-// event is one arena slot: a scheduled callback, a timed callback, or a
-// parked process waiting to be dispatched. Exactly one of fn/fnT/p is set.
-// Events with equal timestamps fire in scheduling order (seq), which makes
-// runs deterministic.
+// Action is a pre-allocated deliverable: an object whose Fire method runs
+// when its scheduled time arrives. It exists for the per-message hot paths
+// (fabric deliveries, verbs completion flights) that would otherwise build a
+// fresh closure per operation — a pooled struct implementing Action can be
+// scheduled with AtAction and recycled by its own Fire, so steady-state
+// message traffic allocates nothing.
+type Action interface {
+	Fire(at Time)
+}
+
+// event is one arena slot: a scheduled callback, a timed callback, a parked
+// process waiting to be dispatched, or a pooled Action. Exactly one of
+// fn/fnT/p/act is set. Events with equal timestamps fire in scheduling order
+// (seq), which makes runs deterministic.
 //
 // Events live in the kernel's arena (a value slice indexed by evIdx) and are
 // recycled through a free list, so steady-state scheduling allocates
 // nothing: no per-event heap object and no interface{} boxing, unlike the
 // container/heap implementation this replaced.
+//
+// shard is a placement hint for the sharded run mode (see ConfigureShards):
+// it selects which per-shard heap queues the event. It is never a
+// correctness input — dispatch order is the global (at, seq) order in every
+// mode — so a stale or wrong shard tag can only cost parallelism, not
+// determinism.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()     // plain callback (handler context)
-	fnT func(Time) // timed callback; receives the firing time
-	p   *Proc      // parked process to dispatch
+	at    Time
+	seq   uint64
+	fn    func()     // plain callback (handler context)
+	fnT   func(Time) // timed callback; receives the firing time
+	p     *Proc      // parked process to dispatch
+	act   Action     // pooled deliverable; receives the firing time
+	shard int32
 }
 
 // evIdx indexes the event arena. int32 keeps the heap slice compact; two
@@ -40,12 +58,26 @@ type Kernel struct {
 
 	arena []event // event storage; slots are recycled via freeList
 	freeL []evIdx // free slots in arena
-	heap  []evIdx // min-heap of pending events ordered by (at, seq)
+	heap  []evIdx // serial mode: min-heap of pending events ordered by (at, seq)
 
 	procs   []*Proc
 	live    int   // spawned but not finished
 	running *Proc // process currently executing, nil in handler context
 	yield   chan struct{}
+	dead    bool // set by Shutdown; the kernel accepts no further work
+
+	// Sharded mode (ConfigureShards): per-shard heaps plus the state of the
+	// lookahead window currently being dispatched. curShard is the shard tag
+	// of the event being fired; events scheduled from inside a handler
+	// inherit it, so causally-local chains stay on their shard without every
+	// call site passing a tag.
+	shards    []shardQ
+	lookahead Time
+	curShard  int32
+	winActive bool
+	winEnd    Time
+	winOv     []evIdx // overflow heap: events scheduled into the open window
+	workers   *shardWorkers
 
 	// tick, when set, fires whenever the clock reaches tickAt: it runs
 	// after the clock advances but before the event at that timestamp is
@@ -87,6 +119,20 @@ func (k *Kernel) At(delay Time, fn func()) {
 	k.schedule(k.now+delay, fn)
 }
 
+// AtShard is At with an explicit shard placement hint, for cross-shard
+// traffic whose destination the caller knows (the fabric tags deliveries
+// with the receiving node's shard). In serial mode the hint is ignored.
+func (k *Kernel) AtShard(shard int, delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	i := k.slot()
+	ev := &k.arena[i]
+	k.seq++
+	ev.at, ev.seq, ev.fn, ev.shard = k.now+delay, k.seq, fn, int32(shard)
+	k.enqueue(i)
+}
+
 // AtCall schedules fn to run at now+delay in handler context, passing the
 // firing time. It exists so completion callbacks with a (Time) parameter can
 // be scheduled directly — `k.AtCall(d, op.OnComplete)` — instead of through
@@ -99,32 +145,63 @@ func (k *Kernel) AtCall(delay Time, fn func(Time)) {
 	i := k.slot()
 	ev := &k.arena[i]
 	k.seq++
-	ev.at, ev.seq, ev.fnT = k.now+delay, k.seq, fn
-	k.push(i)
+	ev.at, ev.seq, ev.fnT, ev.shard = k.now+delay, k.seq, fn, k.curShard
+	k.enqueue(i)
+}
+
+// AtAction schedules a pooled deliverable at now+delay (see Action). The
+// event slot stores the interface value directly, so scheduling a pointer-
+// typed Action allocates nothing. A negative delay is treated as zero.
+func (k *Kernel) AtAction(delay Time, a Action) {
+	if delay < 0 {
+		delay = 0
+	}
+	i := k.slot()
+	ev := &k.arena[i]
+	k.seq++
+	ev.at, ev.seq, ev.act, ev.shard = k.now+delay, k.seq, a, k.curShard
+	k.enqueue(i)
+}
+
+// AtActionShard is AtAction with an explicit shard placement hint.
+func (k *Kernel) AtActionShard(shard int, delay Time, a Action) {
+	if delay < 0 {
+		delay = 0
+	}
+	i := k.slot()
+	ev := &k.arena[i]
+	k.seq++
+	ev.at, ev.seq, ev.act, ev.shard = k.now+delay, k.seq, a, int32(shard)
+	k.enqueue(i)
 }
 
 func (k *Kernel) schedule(at Time, fn func()) {
 	i := k.slot()
 	ev := &k.arena[i]
 	k.seq++
-	ev.at, ev.seq, ev.fn = at, k.seq, fn
-	k.push(i)
+	ev.at, ev.seq, ev.fn, ev.shard = at, k.seq, fn, k.curShard
+	k.enqueue(i)
 }
 
 // scheduleProc schedules a direct dispatch of p at the given time. This is
 // the allocation-free fast path for Sleep and condition wakeups: the event
 // carries the process pointer itself, so no per-wakeup closure is created.
+// The event is placed on the process's own shard — a wakeup belongs to the
+// woken process's timeline, wherever the waker ran.
 func (k *Kernel) scheduleProc(at Time, p *Proc) {
 	i := k.slot()
 	ev := &k.arena[i]
 	k.seq++
-	ev.at, ev.seq, ev.p = at, k.seq, p
-	k.push(i)
+	ev.at, ev.seq, ev.p, ev.shard = at, k.seq, p, p.shard
+	k.enqueue(i)
 }
 
 // slot returns a free arena index, growing the arena only when the free
 // list is empty (steady state reuses slots and allocates nothing).
 func (k *Kernel) slot() evIdx {
+	if k.dead {
+		panic("sim: schedule on a kernel after Shutdown")
+	}
 	if n := len(k.freeL); n > 0 {
 		i := k.freeL[n-1]
 		k.freeL = k.freeL[:n-1]
@@ -132,6 +209,30 @@ func (k *Kernel) slot() evIdx {
 	}
 	k.arena = append(k.arena, event{})
 	return evIdx(len(k.arena) - 1)
+}
+
+// enqueue routes a filled arena slot to the pending structure its mode and
+// shard call for: the single serial heap, the event's shard heap, or — when
+// the event lands inside the lookahead window currently being dispatched —
+// the window's overflow heap, which the merge loop drains in (at, seq)
+// order alongside the extracted batches.
+func (k *Kernel) enqueue(i evIdx) {
+	if len(k.shards) == 0 {
+		k.heap = k.hpush(k.heap, i)
+		return
+	}
+	ev := &k.arena[i]
+	s := ev.shard
+	if s < 0 || int(s) >= len(k.shards) {
+		s = 0
+		ev.shard = 0
+	}
+	if k.winActive && ev.at < k.winEnd {
+		k.winOv = k.hpush(k.winOv, i)
+		return
+	}
+	sq := &k.shards[s]
+	sq.heap = k.hpush(sq.heap, i)
 }
 
 // less orders heap entries by (at, seq).
@@ -143,10 +244,9 @@ func (k *Kernel) less(a, b evIdx) bool {
 	return ea.seq < eb.seq
 }
 
-// push appends an event index and restores the heap invariant.
-func (k *Kernel) push(i evIdx) {
-	k.heap = append(k.heap, i)
-	h := k.heap
+// hpush appends an event index to a heap slice and restores the invariant.
+func (k *Kernel) hpush(h []evIdx, i evIdx) []evIdx {
+	h = append(h, i)
 	c := len(h) - 1
 	for c > 0 {
 		parent := (c - 1) / heapArity
@@ -156,20 +256,17 @@ func (k *Kernel) push(i evIdx) {
 		h[c], h[parent] = h[parent], h[c]
 		c = parent
 	}
+	return h
 }
 
-// pop removes and returns the earliest event index, panicking on the
-// corruption that both run loops must catch: an event scheduled in the past.
-func (k *Kernel) pop() evIdx {
-	h := k.heap
+// hpop removes and returns the minimum of a heap slice. Unlike the firing
+// paths it performs no in-the-past check: extraction pops events whose time
+// is still ahead of the clock (fire checks when it advances the clock).
+func (k *Kernel) hpop(h []evIdx) ([]evIdx, evIdx) {
 	top := h[0]
-	if k.arena[top].at < k.now {
-		panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", k.arena[top].at, k.now))
-	}
 	n := len(h) - 1
 	h[0] = h[n]
-	k.heap = h[:n]
-	h = k.heap
+	h = h[:n]
 	// Sift down.
 	i := 0
 	for {
@@ -193,19 +290,23 @@ func (k *Kernel) pop() evIdx {
 		h[i], h[best] = h[best], h[i]
 		i = best
 	}
-	return top
+	return h, top
 }
 
-// step pops and fires the earliest event. The arena slot is released before
-// the callback runs, so events scheduled from inside the callback can reuse
-// it; the fields needed are copied out first.
-func (k *Kernel) step() {
-	i := k.pop()
+// fire releases event slot i and runs its payload. The arena slot is freed
+// before the callback runs, so events scheduled from inside the callback can
+// reuse it; the fields needed are copied out first. It panics on the
+// corruption every run loop must catch: an event scheduled in the past.
+func (k *Kernel) fire(i evIdx) {
 	ev := &k.arena[i]
-	at, fn, fnT, p := ev.at, ev.fn, ev.fnT, ev.p
-	ev.fn, ev.fnT, ev.p = nil, nil, nil
+	at, fn, fnT, p, act, shard := ev.at, ev.fn, ev.fnT, ev.p, ev.act, ev.shard
+	if at < k.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: %v < %v", at, k.now))
+	}
+	ev.fn, ev.fnT, ev.p, ev.act = nil, nil, nil, nil
 	k.freeL = append(k.freeL, i)
 	k.now = at
+	k.curShard = shard
 	for k.tick != nil && at >= k.tickAt {
 		k.tickAt = k.tick(at)
 	}
@@ -214,20 +315,34 @@ func (k *Kernel) step() {
 		k.dispatch(p)
 	case fnT != nil:
 		fnT(at)
+	case act != nil:
+		act.Fire(at)
 	default:
 		fn()
 	}
 }
 
+// step pops and fires the earliest event (serial mode).
+func (k *Kernel) step() {
+	var i evIdx
+	k.heap, i = k.hpop(k.heap)
+	k.fire(i)
+}
+
 // Spawn creates a new simulated process that will begin executing fn at the
 // current virtual time. fn runs in its own goroutine but only while the
-// kernel has handed it control.
+// kernel has handed it control. The process inherits the current shard tag;
+// topology owners (the cluster) override it with SetShard after placement.
 func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	if k.dead {
+		panic("sim: Spawn on a kernel after Shutdown")
+	}
 	p := &Proc{
 		k:      k,
 		id:     len(k.procs),
 		name:   name,
 		resume: make(chan struct{}),
+		shard:  k.curShard,
 	}
 	k.procs = append(k.procs, p)
 	k.live++
@@ -273,10 +388,13 @@ var errShutdown = errors.New("sim: kernel shut down")
 // blocked processes (deadlock reports, RunUntil stopping early, daemons
 // whose wakeup never came) leaks one parked goroutine per process for the
 // life of the OS process — benchmark sweeps build thousands of kernels, so
-// bench/test helpers call Shutdown on every kernel they retire.
+// bench/test helpers call Shutdown on every kernel they retire. Shard
+// extraction workers (ConfigureShards) are stopped the same way.
 //
 // Shutdown must be called from outside the kernel (not from a process or
-// handler); the kernel is unusable for further Spawn/Run calls afterwards.
+// handler). Afterwards the kernel is dead: Spawn, Run, RunUntil, and every
+// scheduling call panic, so no pooled arena slot, parked wakeup, or SetTick
+// observer can be reused or fired by a stale reference to a retired kernel.
 func (k *Kernel) Shutdown() {
 	if k.running != nil {
 		panic("sim: Shutdown called from inside the simulation")
@@ -289,6 +407,8 @@ func (k *Kernel) Shutdown() {
 		p.resume <- struct{}{}
 		<-k.yield
 	}
+	k.stopWorkers()
+	k.dead = true
 }
 
 // collectDeadlocked records non-daemon processes that are blocked with no
@@ -308,9 +428,16 @@ func (k *Kernel) collectDeadlocked() {
 // finished. It returns the final virtual time. If processes remain blocked
 // with no pending events, they are reported in k.Deadlocked.
 func (k *Kernel) Run() Time {
+	if k.dead {
+		panic("sim: Run on a kernel after Shutdown")
+	}
 	k.Deadlocked = nil
-	for len(k.heap) > 0 {
-		k.step()
+	if len(k.shards) > 0 {
+		k.runSharded(0, false)
+	} else {
+		for len(k.heap) > 0 {
+			k.step()
+		}
 	}
 	k.collectDeadlocked()
 	return k.now
@@ -323,11 +450,18 @@ func (k *Kernel) Run() Time {
 // the whole queue (not merely reaches the deadline) with blocked non-daemon
 // processes remaining.
 func (k *Kernel) RunUntil(deadline Time) int {
+	if k.dead {
+		panic("sim: RunUntil on a kernel after Shutdown")
+	}
 	k.Deadlocked = nil
 	fired := 0
-	for len(k.heap) > 0 && k.arena[k.heap[0]].at <= deadline {
-		k.step()
-		fired++
+	if len(k.shards) > 0 {
+		fired = k.runSharded(deadline, true)
+	} else {
+		for len(k.heap) > 0 && k.arena[k.heap[0]].at <= deadline {
+			k.step()
+			fired++
+		}
 	}
 	if k.now < deadline {
 		k.now = deadline
@@ -335,7 +469,7 @@ func (k *Kernel) RunUntil(deadline Time) int {
 			k.tickAt = k.tick(k.now)
 		}
 	}
-	if len(k.heap) == 0 {
+	if k.Pending() == 0 {
 		k.collectDeadlocked()
 	}
 	return fired
@@ -355,7 +489,14 @@ func (k *Kernel) SetTick(first Time, fn func(Time) Time) {
 }
 
 // Pending reports the number of queued events.
-func (k *Kernel) Pending() int { return len(k.heap) }
+func (k *Kernel) Pending() int {
+	n := len(k.heap) + len(k.winOv)
+	for s := range k.shards {
+		sq := &k.shards[s]
+		n += len(sq.heap) + len(sq.batch) - sq.cur
+	}
+	return n
+}
 
 // Live reports the number of spawned processes that have not finished.
 func (k *Kernel) Live() int { return k.live }

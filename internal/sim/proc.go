@@ -22,10 +22,21 @@ type Proc struct {
 	resume chan struct{}
 	state  procState
 
-	busy   Time // accumulated AdvanceBusy (compute/CPU-work) time
+	busy   Time  // accumulated AdvanceBusy (compute/CPU-work) time
 	daemon bool
-	killed bool // set by Kernel.Shutdown; the next resume unwinds
+	killed bool  // set by Kernel.Shutdown; the next resume unwinds
+	shard  int32 // sharded mode: home shard for this proc's wakeup events
 }
+
+// SetShard pins the process's wakeup events (Sleep, condition waits) to a
+// shard of the lookahead-sharded kernel — topology owners call it after
+// placement (a rank or proxy lives on its node's shard). Purely a placement
+// hint; see ConfigureShards. Unlike most Proc methods it may be called from
+// outside the process, during setup.
+func (p *Proc) SetShard(s int) { p.shard = int32(s) }
+
+// Shard returns the process's shard placement hint.
+func (p *Proc) Shard() int { return int(p.shard) }
 
 // SetDaemon marks the process as a daemon: it is expected to block forever
 // (e.g. a progress engine) and is excluded from deadlock reporting.

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Lookahead-sharded execution (conservative parallel DES).
+//
+// ConfigureShards splits the pending-event set across per-shard heaps. The
+// run loop then proceeds in windows: it finds the earliest pending time t,
+// opens the window [t, t+lookahead), and drains every shard's sub-window
+// events into a per-shard sorted batch. With more than one CPU the drains
+// run on worker goroutines — they touch only their own shard's heap and
+// batch and read the shared arena, which no one mutates while a window is
+// being extracted. Dispatch then merges the batches (plus an overflow heap
+// of events scheduled *into* the open window by the handlers themselves)
+// and fires strictly in the global (at, seq) order — the exact order the
+// serial loop uses — so every table, metrics snapshot, and span trace is
+// byte-identical to the serial kernel at any shard count.
+//
+// The lookahead comes from the fabric: no cross-node message arrives sooner
+// than the minimum link latency, so per-node shards keep most of a window's
+// events on their home heap. The bound is advisory, not load-bearing —
+// an event scheduled across shards below the lookahead (zero-delay
+// condition-variable wakeups during failover, for instance) simply lands in
+// the overflow heap and is merged like any other. See DESIGN.md §14.
+
+// shardQ is one shard's pending-heap plus its extracted window batch.
+type shardQ struct {
+	heap  []evIdx
+	batch []evIdx // window events in (at, seq) order
+	cur   int     // dispatch cursor into batch
+	_     [8]byte // pad to a 64-byte line so workers don't false-share
+}
+
+// ConfigureShards switches the kernel to lookahead-sharded execution with n
+// shards. It must be called before any event is scheduled (the serial heap
+// and the shard heaps never coexist); lookahead is the conservative window
+// width — use the fabric's minimum link latency — and must be positive.
+// n <= 1 leaves the kernel in serial mode. Shard indexes are a placement
+// hint carried by events and processes (SetShard, AtShard); correctness
+// never depends on them.
+func (k *Kernel) ConfigureShards(n int, lookahead Time) {
+	if k.Pending() > 0 || len(k.procs) > 0 {
+		panic("sim: ConfigureShards after events were scheduled")
+	}
+	if n <= 1 {
+		k.shards, k.lookahead = nil, 0
+		return
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: ConfigureShards needs a positive lookahead, got %v", lookahead))
+	}
+	k.shards = make([]shardQ, n)
+	k.lookahead = lookahead
+}
+
+// Shards returns the configured shard count (1 when serial).
+func (k *Kernel) Shards() int {
+	if len(k.shards) == 0 {
+		return 1
+	}
+	return len(k.shards)
+}
+
+// ShardIndex maps an arbitrary placement tag (a node id) onto a shard.
+func (k *Kernel) ShardIndex(tag int) int {
+	n := len(k.shards)
+	if n == 0 {
+		return 0
+	}
+	s := tag % n
+	if s < 0 {
+		s += n
+	}
+	return s
+}
+
+// runSharded is the windowed run loop. With bounded set it fires only
+// events with at <= deadline (RunUntil semantics); otherwise it drains
+// everything. Returns the number of events fired.
+func (k *Kernel) runSharded(deadline Time, bounded bool) int {
+	fired := 0
+	for {
+		minAt, ok := k.earliest()
+		if !ok || (bounded && minAt > deadline) {
+			break
+		}
+		winEnd := minAt + k.lookahead
+		if winEnd <= minAt { // overflow guard on huge lookaheads
+			winEnd = maxTime
+		}
+		if bounded && deadline+1 > deadline && winEnd > deadline+1 {
+			winEnd = deadline + 1
+		}
+		k.extractWindow(winEnd)
+		fired += k.dispatchWindow(winEnd)
+	}
+	return fired
+}
+
+const maxTime = Time(^uint64(0) >> 1)
+
+// earliest returns the smallest timestamp over all shard heaps.
+func (k *Kernel) earliest() (Time, bool) {
+	min, ok := maxTime, false
+	for s := range k.shards {
+		h := k.shards[s].heap
+		if len(h) == 0 {
+			continue
+		}
+		if at := k.arena[h[0]].at; !ok || at < min {
+			min, ok = at, true
+		}
+	}
+	return min, ok
+}
+
+// extractWindow drains each shard's events with at < winEnd into the
+// shard's batch, in (at, seq) order. Shards are drained concurrently when
+// workers are available; each drain is confined to its own shardQ and
+// read-only on the arena, so the extraction is race-free by construction.
+func (k *Kernel) extractWindow(winEnd Time) {
+	n := len(k.shards)
+	if n > 1 && k.workers == nil && runtime.GOMAXPROCS(0) > 1 {
+		k.startWorkers()
+	}
+	if w := k.workers; w != nil {
+		w.wg.Add(n - 1)
+		for s := 1; s < n; s++ {
+			w.work[s-1] <- winEnd
+		}
+		k.shards[0].extract(k, winEnd)
+		w.wg.Wait()
+		return
+	}
+	for s := 0; s < n; s++ {
+		k.shards[s].extract(k, winEnd)
+	}
+}
+
+// extract pops this shard's sub-window into batch (heap pops arrive in
+// (at, seq) order already).
+func (sq *shardQ) extract(k *Kernel, winEnd Time) {
+	sq.batch = sq.batch[:0]
+	sq.cur = 0
+	for len(sq.heap) > 0 && k.arena[sq.heap[0]].at < winEnd {
+		var i evIdx
+		sq.heap, i = k.hpop(sq.heap)
+		sq.batch = append(sq.batch, i)
+	}
+}
+
+// dispatchWindow merges the extracted batches with the window-overflow heap
+// and fires events one at a time in global (at, seq) order. Handlers run on
+// the kernel goroutine only — parallelism lives in extraction — which is
+// what makes sharded output byte-identical: the serial loop would fire the
+// exact same sequence. Events the handlers schedule inside the still-open
+// window arrive through enqueue on the overflow heap and join the merge.
+func (k *Kernel) dispatchWindow(winEnd Time) int {
+	k.winActive, k.winEnd = true, winEnd
+	fired := 0
+	for {
+		best := evIdx(-1)
+		bestShard := -1
+		for s := range k.shards {
+			sq := &k.shards[s]
+			if sq.cur < len(sq.batch) {
+				i := sq.batch[sq.cur]
+				if best < 0 || k.less(i, best) {
+					best, bestShard = i, s
+				}
+			}
+		}
+		fromOv := false
+		if len(k.winOv) > 0 && (best < 0 || k.less(k.winOv[0], best)) {
+			best, fromOv = k.winOv[0], true
+		}
+		if best < 0 {
+			break
+		}
+		if fromOv {
+			k.winOv, _ = k.hpop(k.winOv)
+		} else {
+			k.shards[bestShard].cur++
+		}
+		k.fire(best)
+		fired++
+	}
+	k.winActive = false
+	return fired
+}
+
+// shardWorkers is the persistent extraction pool: one goroutine per shard
+// beyond the first (shard 0 is drained inline by the kernel goroutine).
+// Workers idle on their channel between windows; Shutdown closes them.
+type shardWorkers struct {
+	wg   sync.WaitGroup
+	work []chan Time
+	done sync.WaitGroup
+}
+
+func (k *Kernel) startWorkers() {
+	w := &shardWorkers{work: make([]chan Time, len(k.shards)-1)}
+	for s := 1; s < len(k.shards); s++ {
+		ch := make(chan Time)
+		w.work[s-1] = ch
+		w.done.Add(1)
+		go func(s int) {
+			defer w.done.Done()
+			for winEnd := range ch {
+				k.shards[s].extract(k, winEnd)
+				w.wg.Done()
+			}
+		}(s)
+	}
+	k.workers = w
+}
+
+// stopWorkers shuts the extraction pool down (idempotent; Shutdown calls it).
+func (k *Kernel) stopWorkers() {
+	if k.workers == nil {
+		return
+	}
+	for _, ch := range k.workers.work {
+		close(ch)
+	}
+	k.workers.done.Wait()
+	k.workers = nil
+}

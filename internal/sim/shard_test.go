@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// buildWorkload schedules the same randomized event graph on k: a mix of
+// plain events, timed callbacks, Actions, sleeping procs with cross-proc
+// condition wakeups, and re-entrant scheduling — tagged across shards the
+// way a cluster tags nodes. Every firing appends (label, now) to out.
+func buildWorkload(k *Kernel, seed int64, out *[]string) {
+	rng := rand.New(rand.NewSource(seed))
+	record := func(label string) {
+		*out = append(*out, fmt.Sprintf("%s@%d", label, k.Now()))
+	}
+	var cond Cond
+	// Four "nodes" of sleeping procs signalling each other.
+	for n := 0; n < 4; n++ {
+		n := n
+		p := k.Spawn(fmt.Sprintf("node%d", n), func(p *Proc) {
+			for i := 0; i < 20; i++ {
+				p.Sleep(Time(1 + rng.Intn(7)))
+				record(fmt.Sprintf("proc%d.%d", n, i))
+				if i%3 == 0 {
+					cond.Broadcast() // zero-delay cross-shard wakeups
+				} else if i%5 == 1 {
+					cond.Wait(p)
+				}
+			}
+			cond.Broadcast() // let stragglers finish
+		})
+		p.SetShard(k.ShardIndex(n))
+	}
+	// A spray of events, some re-entrant, on explicit shards.
+	for i := 0; i < 60; i++ {
+		i := i
+		d := Time(rng.Intn(40))
+		k.AtShard(i%4, d, func() {
+			record(fmt.Sprintf("ev%d", i))
+			if i%4 == 0 {
+				k.At(0, func() { record(fmt.Sprintf("ev%d.same", i)) })
+				k.AtShard((i+1)%4, 2, func() { record(fmt.Sprintf("ev%d.x", i)) })
+			}
+		})
+	}
+}
+
+// Sharded execution must fire the exact event sequence of the serial
+// kernel: same labels, same virtual times, same order — at any shard count,
+// with and without extraction workers.
+func TestShardedMatchesSerial(t *testing.T) {
+	run := func(shards int, lookahead Time, seed int64) []string {
+		k := NewKernel()
+		if shards > 1 {
+			k.ConfigureShards(shards, lookahead)
+		}
+		var got []string
+		buildWorkload(k, seed, &got)
+		k.Run()
+		k.Shutdown()
+		return got
+	}
+	old := runtime.GOMAXPROCS(4) // force the worker-pool extraction path
+	defer runtime.GOMAXPROCS(old)
+	for seed := int64(1); seed <= 5; seed++ {
+		want := run(1, 0, seed)
+		if len(want) == 0 {
+			t.Fatalf("seed %d: serial run recorded nothing", seed)
+		}
+		for _, shards := range []int{2, 4, 7} {
+			for _, la := range []Time{1, 3, 1000} {
+				got := run(shards, la, seed)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d shards %d lookahead %d: %d events, want %d",
+						seed, shards, la, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d shards %d lookahead %d: event %d = %s, want %s",
+							seed, shards, la, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// RunUntil on a sharded kernel must honor the deadline exactly: events at
+// the deadline fire, later ones stay queued, fired counts match serial.
+func TestShardedRunUntilMatchesSerial(t *testing.T) {
+	build := func(shards int) *Kernel {
+		k := NewKernel()
+		if shards > 1 {
+			k.ConfigureShards(shards, 3)
+		}
+		for i := 0; i < 30; i++ {
+			k.AtShard(i%shards, Time(i), func() {})
+		}
+		return k
+	}
+	ks, kp := build(1), build(4)
+	for _, d := range []Time{0, 7, 8, 29, 100} {
+		ns, np := ks.RunUntil(d), kp.RunUntil(d)
+		if ns != np {
+			t.Fatalf("RunUntil(%d): sharded fired %d, serial fired %d", d, np, ns)
+		}
+		if ks.Pending() != kp.Pending() {
+			t.Fatalf("RunUntil(%d): sharded pending %d, serial pending %d", d, kp.Pending(), ks.Pending())
+		}
+		if ks.Now() != kp.Now() {
+			t.Fatalf("RunUntil(%d): sharded now %v, serial now %v", d, kp.Now(), ks.Now())
+		}
+	}
+	ks.Shutdown()
+	kp.Shutdown()
+}
+
+type countAction struct {
+	n  int
+	at Time
+}
+
+func (a *countAction) Fire(at Time) { a.n++; a.at = at }
+
+// AtAction must be allocation-free in steady state, serial and sharded.
+func TestAtActionSteadyStateAllocFree(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		k := NewKernel()
+		if shards > 1 {
+			k.ConfigureShards(shards, 2)
+		}
+		a := &countAction{}
+		for i := 0; i < 8; i++ {
+			k.AtAction(Time(i), a)
+		}
+		k.Run()
+		allocs := testing.AllocsPerRun(200, func() {
+			k.AtAction(1, a)
+			k.AtActionShard(shards-1, 1, a)
+			k.RunUntil(k.Now() + 1)
+		})
+		if allocs > 0 {
+			t.Fatalf("shards=%d: AtAction allocated %.1f objects per op in steady state, want 0", shards, allocs)
+		}
+		if a.n == 0 || a.at != k.Now() {
+			t.Fatalf("shards=%d: action fired %d times, last at %v (now %v)", shards, a.n, a.at, k.Now())
+		}
+	}
+}
+
+// The sharded run loop itself must be allocation-free once heaps, batches,
+// and the worker pool are warm.
+func TestShardedSteadyStateAllocFree(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	k := NewKernel()
+	k.ConfigureShards(4, 2)
+	fn := func() {}
+	for s := 0; s < 4; s++ {
+		for i := 0; i < 8; i++ {
+			k.AtShard(s, Time(i), fn)
+		}
+	}
+	k.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		for s := 0; s < 4; s++ {
+			k.AtShard(s, 1, fn)
+		}
+		k.RunUntil(k.Now() + 1)
+	})
+	k.Shutdown()
+	if allocs > 0 {
+		t.Fatalf("sharded window loop allocated %.1f objects per run in steady state, want 0", allocs)
+	}
+}
+
+// ConfigureShards is a pre-scheduling decision: reconfiguring a kernel that
+// already has pending events or procs must panic.
+func TestConfigureShardsAfterSchedulingPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(1, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ConfigureShards with pending events did not panic")
+		}
+	}()
+	k.ConfigureShards(4, 1)
+}
+
+// Out-of-range shard hints must degrade to shard 0, never crash or change
+// dispatch order.
+func TestShardHintOutOfRangeIsSafe(t *testing.T) {
+	k := NewKernel()
+	k.ConfigureShards(2, 2)
+	var fired []int
+	for i, s := range []int{-3, 0, 1, 99} {
+		i := i
+		k.AtShard(s, Time(i), func() { fired = append(fired, i) })
+	}
+	k.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all 4 events", fired)
+	}
+	for i := range fired {
+		if fired[i] != i {
+			t.Fatalf("fired %v, want in-order 0..3", fired)
+		}
+	}
+	k.Shutdown()
+}
+
+// Shutdown must stop the extraction workers; a sharded kernel torn down
+// after heavy use must not leak goroutines.
+func TestShutdownStopsShardWorkers(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		k := NewKernel()
+		k.ConfigureShards(4, 2)
+		for j := 0; j < 100; j++ {
+			k.AtShard(j%4, Time(j), func() {})
+		}
+		k.Run()
+		k.Shutdown()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("%d goroutines after shutdowns, %d before: shard workers leaked", g, before)
+	}
+}
+
+// After Shutdown the kernel is dead: the SetTick observer must never fire
+// again, and no pooled arena slot can be reused — every scheduling or run
+// entry point panics instead of silently resurrecting freed storage.
+func TestShutdownKillsObserverAndPooledStorage(t *testing.T) {
+	k := NewKernel()
+	ticks := 0
+	k.SetTick(0, func(at Time) Time { ticks++; return at + 5 })
+	k.At(12, func() {})
+	k.Spawn("parked", func(p *Proc) { (&Cond{}).Wait(p) })
+	k.Run()
+	got := ticks
+	if got == 0 {
+		t.Fatal("tick observer never fired during the run")
+	}
+	k.Shutdown()
+
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on a shut-down kernel did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("At", func() { k.At(1, func() {}) })
+	mustPanic("AtCall", func() { k.AtCall(1, func(Time) {}) })
+	mustPanic("AtAction", func() { k.AtAction(1, &countAction{}) })
+	mustPanic("Spawn", func() { k.Spawn("late", func(p *Proc) {}) })
+	mustPanic("Run", func() { k.Run() })
+	mustPanic("RunUntil", func() { k.RunUntil(k.Now() + 100) })
+	if ticks != got {
+		t.Fatalf("tick observer fired after Shutdown: %d -> %d", got, ticks)
+	}
+}
+
+// A fresh kernel after a Shutdown shares nothing with the retired one:
+// its arena starts empty, so no slot of the dead kernel can resurface.
+func TestShutdownThenFreshKernelSharesNoStorage(t *testing.T) {
+	k1 := NewKernel()
+	for i := 0; i < 32; i++ {
+		k1.At(Time(i), func() {})
+	}
+	k1.Run()
+	k1.Shutdown()
+	k2 := NewKernel()
+	if len(k2.arena) != 0 || len(k2.freeL) != 0 || k2.Pending() != 0 {
+		t.Fatal("fresh kernel inherited arena/free-list state")
+	}
+	fired := 0
+	k2.At(1, func() { fired++ })
+	k2.Run()
+	if fired != 1 {
+		t.Fatalf("fresh kernel fired %d events, want 1", fired)
+	}
+	k2.Shutdown()
+}

@@ -1,0 +1,64 @@
+package span
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The zero-alloc contract of span recording: a collector recycled with
+// Reset reuses its span slots and their attribute arrays, so steady-state
+// begin/attr/end recording allocates nothing — the "span records" leg of
+// the pooled hot path.
+func TestResetRecordingSteadyStateAllocFree(t *testing.T) {
+	c := New(0)
+	record := func() {
+		for i := 0; i < 16; i++ {
+			id := c.StartAt(0, ClassRank, "rank0", "mpi", "ialltoall", sim.Time(i))
+			c.AttrInt(id, "size", int64(i))
+			c.AttrStr(id, "path", "gvmi")
+			ch := c.StartAt(id, ClassWire, "n0->n1", "fabric", "wire", sim.Time(i))
+			c.AttrInt(ch, "size", int64(i))
+			c.EndAt(ch, sim.Time(i+1))
+			c.EndAt(id, sim.Time(i+2))
+		}
+	}
+	record() // warm the span and attr storage
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Reset()
+		record()
+	})
+	if allocs > 0 {
+		t.Fatalf("Reset+record allocated %.2f objects per cycle in steady state, want 0", allocs)
+	}
+	if c.Len() != 32 {
+		t.Fatalf("collector holds %d spans after final cycle, want 32", c.Len())
+	}
+}
+
+// Reset must forget content, not just truncate: recycled slots may not leak
+// the previous cycle's attributes or end times.
+func TestResetScrubsRecycledSlots(t *testing.T) {
+	c := New(0)
+	id := c.StartAt(0, ClassProxy, "proxy0", "core", "group_exec", 5)
+	c.AttrInt(id, "entries", 7)
+	c.EndAt(id, 9)
+	c.Reset()
+	if c.Len() != 0 || c.Dropped() != 0 {
+		t.Fatalf("Reset left %d spans, %d dropped", c.Len(), c.Dropped())
+	}
+	id2 := c.StartAt(0, ClassRank, "rank1", "mpi", "isend", 20)
+	s, ok := c.Get(id2)
+	if !ok {
+		t.Fatal("span not recorded after Reset")
+	}
+	if s.Ended || len(s.Attrs) != 0 || s.Entity != "rank1" || s.Begin != 20 {
+		t.Fatalf("recycled slot leaked state: %+v", s)
+	}
+}
+
+// A nil collector must accept Reset like every other method.
+func TestResetNilCollector(t *testing.T) {
+	var c *Collector
+	c.Reset() // must not panic
+}

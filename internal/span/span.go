@@ -139,12 +139,38 @@ func (c *Collector) StartAt(parent ID, class Class, entity, layer, name string, 
 		return 0
 	}
 	id := ID(len(c.spans) + 1)
-	c.spans = append(c.spans, Span{
-		ID: id, Parent: parent, Class: class,
-		Entity: entity, Layer: layer, Name: name,
-		Begin: at,
-	})
+	if n := len(c.spans); n < cap(c.spans) {
+		// Reuse a slot recycled by Reset: keep its Attrs backing array so
+		// steady-state recording (begin/end/attr) allocates nothing, like
+		// the kernel's event arena.
+		c.spans = c.spans[:n+1]
+		s := &c.spans[n]
+		attrs := s.Attrs[:0]
+		*s = Span{
+			ID: id, Parent: parent, Class: class,
+			Entity: entity, Layer: layer, Name: name,
+			Begin: at, Attrs: attrs,
+		}
+	} else {
+		c.spans = append(c.spans, Span{
+			ID: id, Parent: parent, Class: class,
+			Entity: entity, Layer: layer, Name: name,
+			Begin: at,
+		})
+	}
 	return id
+}
+
+// Reset forgets every recorded span and drop count while keeping the span
+// and attribute storage for reuse, so a collector recycled across
+// measurement iterations records at 0 allocs/op once warm. Outstanding IDs
+// from before the Reset must not be used afterwards.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.spans = c.spans[:0]
+	c.dropped = 0
 }
 
 // Start opens a span beginning now (per the attached clock).

@@ -1,0 +1,164 @@
+package verbs
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// The zero-alloc contract of the verbs hot path: once the flight pools,
+// packet pool, inbox buffers, and event arena are warm, posting and
+// completing RDMA writes, reads, and control sends allocates nothing.
+
+type poolRig struct {
+	k        *sim.Kernel
+	reg      *Registry
+	a, b     *Ctx
+	mrA, mrB *MR
+}
+
+func newPoolRig(t *testing.T, backed bool) *poolRig {
+	t.Helper()
+	k := sim.NewKernel()
+	f := fabric.New(k, fabric.DefaultConfig())
+	reg := NewRegistry(f, DefaultCosts())
+	spA, spB := mem.NewSpace("a"), mem.NewSpace("b")
+	const size = 4096
+	addrA := spA.Alloc(size, backed).Addr()
+	addrB := spB.Alloc(size, backed).Addr()
+	a := reg.NewCtx("a", spA, f.NewEndpoint("n0.host", 0, fabric.HostPortParams))
+	b := reg.NewCtx("b", spB, f.NewEndpoint("n1.host", 1, fabric.HostPortParams))
+	rig := &poolRig{k: k, reg: reg, a: a, b: b}
+	k.Spawn("setup", func(p *sim.Proc) {
+		rig.mrA = a.RegisterMR(p, addrA, size)
+		rig.mrB = b.RegisterMR(p, addrB, size)
+	})
+	k.Run()
+	return rig
+}
+
+func TestPostWriteSteadyStateAllocFree(t *testing.T) {
+	for _, backed := range []bool{false, true} {
+		rig := newPoolRig(t, backed)
+		done := 0
+		onRemote := func(at sim.Time) { done++ }
+		op := WriteOp{}
+		rig.k.Spawn("writer", func(p *sim.Proc) {
+			for {
+				op = WriteOp{
+					LocalKey: rig.mrA.LKey(), LocalAddr: rig.mrA.Addr(),
+					RemoteKey: rig.mrB.RKey(), RemoteAddr: rig.mrB.Addr(),
+					Size: 1024, OnRemoteComplete: onRemote,
+				}
+				if err := rig.a.PostWrite(p, op); err != nil {
+					panic(err)
+				}
+				p.Sleep(10 * sim.Microsecond)
+			}
+		})
+		rig.k.RunUntil(rig.k.Now() + 200*sim.Microsecond) // warm pools
+		allocs := testing.AllocsPerRun(100, func() {
+			rig.k.RunUntil(rig.k.Now() + 10*sim.Microsecond)
+		})
+		before := done
+		rig.k.RunUntil(rig.k.Now() + 50*sim.Microsecond)
+		rig.k.Shutdown()
+		if done == before {
+			t.Fatalf("backed=%v: writes stopped completing", backed)
+		}
+		if allocs > 0 {
+			t.Fatalf("backed=%v: PostWrite allocated %.2f objects per op in steady state, want 0", backed, allocs)
+		}
+	}
+}
+
+func TestPostReadSteadyStateAllocFree(t *testing.T) {
+	for _, backed := range []bool{false, true} {
+		rig := newPoolRig(t, backed)
+		done := 0
+		onComplete := func(at sim.Time) { done++ }
+		rig.k.Spawn("reader", func(p *sim.Proc) {
+			for {
+				err := rig.a.PostRead(p, ReadOp{
+					LocalKey: rig.mrA.LKey(), LocalAddr: rig.mrA.Addr(),
+					RemoteKey: rig.mrB.RKey(), RemoteAddr: rig.mrB.Addr(),
+					Size: 1024, OnComplete: onComplete,
+				})
+				if err != nil {
+					panic(err)
+				}
+				p.Sleep(10 * sim.Microsecond)
+			}
+		})
+		rig.k.RunUntil(rig.k.Now() + 200*sim.Microsecond)
+		allocs := testing.AllocsPerRun(100, func() {
+			rig.k.RunUntil(rig.k.Now() + 10*sim.Microsecond)
+		})
+		before := done
+		rig.k.RunUntil(rig.k.Now() + 50*sim.Microsecond)
+		rig.k.Shutdown()
+		if done == before {
+			t.Fatalf("backed=%v: reads stopped completing", backed)
+		}
+		if allocs > 0 {
+			t.Fatalf("backed=%v: PostRead allocated %.2f objects per op in steady state, want 0", backed, allocs)
+		}
+	}
+}
+
+// A pooled control packet round trip — GetPacket, PostSend, receiver
+// PollInbox + PutPacket — must be allocation-free once warm, including the
+// double-buffered inbox drain.
+func TestPostSendPooledRoundTripAllocFree(t *testing.T) {
+	rig := newPoolRig(t, false)
+	received := 0
+	rig.k.Spawn("receiver", func(p *sim.Proc) {
+		for {
+			rig.b.AwaitInbox(p)
+			for _, pkt := range rig.b.PollInbox() {
+				received++
+				rig.reg.PutPacket(pkt)
+			}
+		}
+	}).SetDaemon(true)
+	rig.k.Spawn("sender", func(p *sim.Proc) {
+		for {
+			pkt := rig.reg.GetPacket()
+			pkt.Kind, pkt.Size = "ctrl", 64
+			rig.a.PostSend(p, rig.b, pkt)
+			p.Sleep(10 * sim.Microsecond)
+		}
+	}).SetDaemon(true)
+	rig.k.RunUntil(rig.k.Now() + 200*sim.Microsecond)
+	allocs := testing.AllocsPerRun(100, func() {
+		rig.k.RunUntil(rig.k.Now() + 10*sim.Microsecond)
+	})
+	before := received
+	rig.k.RunUntil(rig.k.Now() + 50*sim.Microsecond)
+	rig.k.Shutdown()
+	if received == before {
+		t.Fatal("control packets stopped arriving")
+	}
+	if allocs > 0 {
+		t.Fatalf("pooled PostSend round trip allocated %.2f objects per op in steady state, want 0", allocs)
+	}
+}
+
+// PutPacket must fully scrub a packet before reuse: a stale payload or span
+// leaking into the next sender would corrupt an unrelated protocol.
+func TestPutPacketScrubs(t *testing.T) {
+	rig := newPoolRig(t, false)
+	pkt := rig.reg.GetPacket()
+	pkt.Kind, pkt.Size, pkt.Payload, pkt.Data = "x", 9, "payload", []byte{1}
+	rig.reg.PutPacket(pkt)
+	got := rig.reg.GetPacket()
+	if got != pkt {
+		t.Fatal("pool did not recycle the packet")
+	}
+	if got.Kind != "" || got.Size != 0 || got.Payload != nil || got.Data != nil || got.From != nil || got.Span != 0 {
+		t.Fatalf("recycled packet not scrubbed: %+v", *got)
+	}
+	rig.k.Shutdown()
+}

@@ -62,27 +62,29 @@ func (c *Ctx) PostWrite(p *sim.Proc, op WriteOp) error {
 	}
 	p.AdvanceBusy(c.reg.costs.PostWR)
 
-	var payload []byte
-	if d := src.space.ReadAt(op.LocalAddr, op.Size); d != nil {
-		payload = make([]byte, op.Size)
-		copy(payload, d)
-	}
 	dstCtx := dst.ctx
 	if c.reg.inj == nil {
-		txDone, _ := c.reg.f.TransferCtx(c.ep, dstCtx.ep, op.Size+c.reg.costs.RDMAHdr, func() {
-			dst.space.WriteAt(op.RemoteAddr, payload, op.Size)
-			c.reg.sp.EndAt(ws, k.Now())
-			if op.Notify != nil {
-				dstCtx.deliver(op.Notify)
-			}
-			if op.OnRemoteComplete != nil {
-				op.OnRemoteComplete(k.Now())
-			}
-		}, ws)
+		// Fast path: the delivery rides a pooled flight record instead of a
+		// closure, and the payload copy reuses the flight's scratch buffer —
+		// zero allocations per op in steady state (see pool.go).
+		fl := c.reg.getWriteFlight()
+		fl.c, fl.dst, fl.dstCtx = c, dst, dstCtx
+		fl.addr, fl.size = op.RemoteAddr, op.Size
+		if d := src.space.ReadAt(op.LocalAddr, op.Size); d != nil {
+			fl.buf = append(fl.buf[:0], d...)
+			fl.backed = true
+		}
+		fl.notify, fl.onRem, fl.ws = op.Notify, op.OnRemoteComplete, ws
+		txDone, _ := c.reg.f.TransferActionCtx(c.ep, dstCtx.ep, op.Size+c.reg.costs.RDMAHdr, fl, ws)
 		if op.OnLocalComplete != nil {
 			k.AtCall(txDone-k.Now(), op.OnLocalComplete)
 		}
 		return nil
+	}
+	var payload []byte
+	if d := src.space.ReadAt(op.LocalAddr, op.Size); d != nil {
+		payload = make([]byte, op.Size)
+		copy(payload, d)
 	}
 	if ws != 0 {
 		// Close the op span even if the retry budget is exhausted.
@@ -198,22 +200,13 @@ func (c *Ctx) PostRead(p *sim.Proc, op ReadOp) error {
 
 	srcCtx := src.ctx
 	if c.reg.inj == nil {
-		// Request packet to the remote HCA.
-		c.reg.f.TransferCtx(c.ep, srcCtx.ep, c.reg.costs.ReadReqLen, func() {
-			// Remote HCA responds autonomously with the data.
-			var payload []byte
-			if d := src.space.ReadAt(op.RemoteAddr, op.Size); d != nil {
-				payload = make([]byte, op.Size)
-				copy(payload, d)
-			}
-			c.reg.f.TransferCtx(srcCtx.ep, c.ep, op.Size+c.reg.costs.RDMAHdr, func() {
-				dst.space.WriteAt(op.LocalAddr, payload, op.Size)
-				c.reg.sp.EndAt(rs, k.Now())
-				if op.OnComplete != nil {
-					op.OnComplete(k.Now())
-				}
-			}, rs)
-		}, rs)
+		// Fast path: the request packet and the data response are the two
+		// stages of one pooled flight (see pool.go).
+		fl := c.reg.getReadFlight()
+		fl.c, fl.dst, fl.src, fl.srcCtx = c, dst, src, srcCtx
+		fl.localAddr, fl.remoteAddr, fl.size = op.LocalAddr, op.RemoteAddr, op.Size
+		fl.onComplete, fl.rs = op.OnComplete, rs
+		c.reg.f.TransferActionCtx(c.ep, srcCtx.ep, c.reg.costs.ReadReqLen, fl, rs)
 		return nil
 	}
 	if rs != 0 {
@@ -293,7 +286,9 @@ func (c *Ctx) PostSend(p *sim.Proc, dst *Ctx, pkt *Packet) {
 	pkt.From = c
 	p.AdvanceBusy(c.reg.costs.PostWR)
 	if c.reg.inj == nil {
-		c.reg.f.TransferCtx(c.ep, dst.ep, pkt.Size, func() { dst.deliver(pkt) }, pkt.Span)
+		fl := c.reg.getSendFlight()
+		fl.dst, fl.pkt = dst, pkt
+		c.reg.f.TransferActionCtx(c.ep, dst.ep, pkt.Size, fl, pkt.Span)
 		return
 	}
 	c.sendAttempt(dst, pkt, 1)
@@ -323,13 +318,17 @@ func (c *Ctx) deliver(pkt *Packet) {
 	c.InboxCond.Broadcast()
 }
 
-// PollInbox drains and returns all packets that have arrived.
+// PollInbox drains and returns all packets that have arrived. The returned
+// slice is valid until the caller's next PollInbox on this context: the two
+// inbox buffers alternate (drain one while arrivals fill the other), so
+// steady-state polling reuses storage instead of allocating per batch.
 func (c *Ctx) PollInbox() []*Packet {
 	if len(c.inbox) == 0 {
 		return nil
 	}
 	pkts := c.inbox
-	c.inbox = nil
+	c.inbox = c.inboxAlt[:0]
+	c.inboxAlt = pkts
 	return pkts
 }
 

@@ -66,6 +66,13 @@ type Registry struct {
 	inj     *fault.Injector // nil = no fault injection
 	sp      *span.Collector // nil = no span tracing
 
+	// Free lists for the pooled hot-path records (see pool.go). The
+	// simulation is single-threaded, so plain slices suffice.
+	wfFree []*writeFlight
+	rfFree []*readFlight
+	sfFree []*sendFlight
+	pkFree []*Packet
+
 	// Stats
 	Registrations int64
 	RegTime       sim.Time
@@ -130,6 +137,7 @@ type Ctx struct {
 	ep    *fabric.Endpoint
 
 	inbox     []*Packet
+	inboxAlt  []*Packet // drained buffer, swapped back in by PollInbox
 	InboxCond sim.Cond
 }
 
