@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet staticcheck race check bench bench-snapshot snapshot-check bench-smoke bench-tenants tenant-smoke bench-drift drift-smoke timeline-smoke scale-smoke bench-scale wallclock
+.PHONY: all build test vet staticcheck race check bench bench-snapshot snapshot-check bench-smoke bench-tenants tenant-smoke bench-drift drift-smoke timeline-smoke scale-smoke bench-scale bench-fleet fleet-smoke wallclock
 
 all: build
 
@@ -30,7 +30,7 @@ staticcheck:
 race:
 	$(GO) test -race ./...
 
-check: vet staticcheck build race snapshot-check tenant-smoke drift-smoke timeline-smoke scale-smoke
+check: vet staticcheck build race snapshot-check tenant-smoke drift-smoke timeline-smoke scale-smoke fleet-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . ./internal/bench/ ./internal/sim/
@@ -118,6 +118,23 @@ scale-smoke:
 bench-scale:
 	$(GO) run ./cmd/offloadbench scale -shards 0 -o BENCH_scale.json
 	$(GO) test -run TestCheckedInScaleSnapshotValid ./internal/bench/
+
+# Regenerate the checked-in mixed-fleet crossover baseline (homogeneous
+# bf2 == fig13 guard + capability-aware-beats-blind margin) after an
+# intentional timing or policy change.
+bench-fleet:
+	$(GO) run ./cmd/offloadbench bench-fleet -o BENCH_fleet.json
+	$(GO) test -run TestCheckedInFleetSnapshotValid ./internal/bench/
+
+# Fleet smoke: validate the checked-in mixed-fleet baseline (homogeneity +
+# crossover claims) and prove bench-fleet regenerates it byte for byte —
+# the fleet bench is deterministic, so any diff is a real change that must
+# be committed deliberately via `make bench-fleet`.
+fleet-smoke:
+	$(GO) test -run 'TestCheckedInFleetSnapshotValid|TestFleetValidateRejects|TestNoRawPortConstantsOutsideDevice' ./internal/bench/ ./internal/device/
+	$(GO) run ./cmd/offloadbench bench-fleet -o .fleet.json > .fleet.out
+	cmp BENCH_fleet.json .fleet.json
+	rm -f .fleet.json .fleet.out
 
 # Re-record the wall-clock baseline (serial vs parallel fig13 sweep) on
 # this host. Host-dependent: commit only from a representative machine.

@@ -39,8 +39,16 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	fig := os.Args[1]
-	fs := flag.NewFlagSet(fig, flag.ExitOnError)
+	// `offloadbench -device list` / `-fleet help` are flag-only queries: no
+	// figure word, print the capability matrix / fleet grammar and exit 0.
+	args := os.Args[1:]
+	fig := args[0]
+	if len(fig) > 0 && fig[0] == '-' {
+		fig = ""
+	} else {
+		args = args[1:]
+	}
+	fs := flag.NewFlagSet("offloadbench", flag.ExitOnError)
 	var (
 		ppn    = fs.Int("ppn", 0, "processes per node (0 = figure default)")
 		iters  = fs.Int("iters", 0, "measured iterations (0 = figure default)")
@@ -56,10 +64,17 @@ func main() {
 		mprof  = fs.String("memprofile", "", "write a pprof heap profile after the run to <path>")
 	)
 	cf := bench.RegisterCommonFlags(fs)
-	if err := fs.Parse(os.Args[2:]); err != nil {
+	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 	workers := cf.Activate()
+	if cf.HandleDeviceQuery(os.Stdout) {
+		return // -device list / -fleet help: documented exit 0
+	}
+	if fig == "" {
+		usage()
+		os.Exit(2)
+	}
 
 	if *cprof != "" {
 		f, err := os.Create(*cprof)
@@ -161,6 +176,39 @@ func main() {
 		}
 		fmt.Fprintf(out, "wrote %s (%d points, re-route verified, %d counter series)\n",
 			path, len(snap.Series), len(snap.Metrics.Counters))
+		return
+	}
+
+	if fig == "bench-fleet" {
+		path := *outp
+		if path == "" {
+			path = "BENCH_fleet.json"
+		}
+		figData, err := os.ReadFile("BENCH_fig13.json")
+		if err != nil {
+			fatal(fmt.Errorf("bench-fleet validates against the fig13 baseline: %w", err))
+		}
+		figSnap, err := bench.ParseBenchSnapshot(figData)
+		if err != nil {
+			fatal(err)
+		}
+		snap := bench.MeasureFleet()
+		if err := snap.Validate(figSnap); err != nil {
+			fatal(err)
+		}
+		figures.FleetTable(snap).Fprint(out)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteFleetSnapshot(f, snap); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "wrote %s (%d policies on %s, homogeneous bf2 == fig13, crossover verified, %d counter series)\n",
+			path, len(snap.Mixed), snap.Fleet, len(snap.Metrics.Counters))
 		return
 	}
 
@@ -294,6 +342,8 @@ func main() {
 		case "drift":
 			figures.Drift(2, p.tenantPPN(), p.it(80)).Fprint(out)
 			figures.DriftAttribution(2, p.tenantPPN(), p.it(80)).Fprint(out)
+		case "fleet":
+			figures.FleetTable(bench.MeasureFleet()).Fprint(out)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
 			usage()
@@ -606,6 +656,8 @@ figures:
            background bulk jobs on a shared single-worker proxy
   drift    mid-run drift: fg latency before/after chatty background tenants
            arrive and saturate the proxy (feedback policy re-routes)
+  fleet    mixed-fleet policy comparison on a half-BF2/half-BF3 cluster:
+           fixed paths vs capability-blind adaptive vs capability-aware
   all      everything above
   scale    fig13 collective shapes at 128/256/512/1024 ranks, validating the
            paper's ordering/overlap claims at scale; writes BENCH_scale.json
@@ -613,6 +665,8 @@ figures:
   bench-snapshot  regenerate the BENCH_fig13.json perf baseline (-o path)
   bench-tenants   regenerate the BENCH_tenants.json multi-tenant baseline (-o path)
   bench-drift     regenerate the BENCH_drift.json drift baseline (-o path)
+  bench-fleet     regenerate the BENCH_fleet.json mixed-fleet baseline (-o path);
+                  validates against BENCH_fig13.json in the working directory
   wallclock       time the fig13 sweep serial vs parallel, verify the outputs
                   byte-identical, and write the BENCH_wallclock.json baseline
   critical-path   span-based critical path + latency attribution for the
@@ -625,7 +679,11 @@ flags: -ppn N -iters N -warmup N -full -memgb N -nb N -seed N -size N
        -parallel N (sweep workers; 0 = all CPUs, 1 = serial; output identical at any value)
        -shards N (lookahead-sharded kernel execution; 0 = one shard per node,
                   1 = serial loop; output identical at any value)
-       -policy NAME (offload policy: gvmi|staged|bluesmpi|hostdirect|adaptive|measure|feedback)
+       -policy NAME (offload policy: gvmi|staged|bluesmpi|hostdirect|adaptive|aware|measure|feedback)
+       -device NAME (device profile for every node: bf2|bf3|ipu-e2100|dsa-offpath;
+                  "list" prints the capability matrix and exits)
+       -fleet SPEC (per-node profiles "name[:count],...", e.g. bf2:2,bf3:2;
+                  "help" prints the grammar and matrix and exits; overrides -device)
        -metrics PATH (export run metrics: JSON to PATH, Prometheus to PATH.prom)
        -spans PATH (export span trace: Chrome JSON to PATH, plus PATH.folded, PATH.jsonl)
        -timeseries PATH (record watched metrics as bucketed virtual-time series:

@@ -43,8 +43,16 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	name := os.Args[1]
-	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	// `omb -device list` / `-fleet help` are flag-only queries: no
+	// benchmark word, print the capability matrix / grammar and exit 0.
+	args := os.Args[1:]
+	name := args[0]
+	if len(name) > 0 && name[0] == '-' {
+		name = ""
+	} else {
+		args = args[1:]
+	}
+	fs := flag.NewFlagSet("omb", flag.ExitOnError)
 	var (
 		nodes  = fs.Int("nodes", 4, "nodes")
 		ppn    = fs.Int("ppn", 8, "processes per node")
@@ -56,10 +64,17 @@ func main() {
 		bgjobs = fs.Int("bgjobs", 3, "tenants: largest background bulk-job count swept")
 	)
 	cf := bench.RegisterCommonFlags(fs)
-	if err := fs.Parse(os.Args[2:]); err != nil {
+	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 	cf.Activate()
+	if cf.HandleDeviceQuery(os.Stdout) {
+		return // -device list / -fleet help: documented exit 0
+	}
+	if name == "" {
+		usage()
+		os.Exit(2)
+	}
 	opt := bench.Options{Nodes: *nodes, PPN: *ppn, Scheme: *scheme, Policy: cf.Policy}
 	backend := *scheme
 	if cf.Policy != "" {

@@ -47,6 +47,9 @@ func main() {
 	cf := bench.RegisterCommonFlags(flag.CommandLine)
 	flag.Parse()
 	cf.Activate()
+	if cf.HandleDeviceQuery(os.Stdout) {
+		return // -device list / -fleet help: documented exit 0
+	}
 
 	spec, err := loadSpec(*file, *preset, *np, *sizeStr)
 	if err != nil {

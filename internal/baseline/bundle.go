@@ -52,6 +52,10 @@ var bundles = map[string]Bundle{
 		Name: "adaptive", Framework: true, Core: ProposedConfig,
 		New: func() policy.Policy { return policy.Adaptive{} },
 	},
+	"aware": {
+		Name: "aware", Framework: true, Core: ProposedConfig,
+		New: func() policy.Policy { return policy.Aware{} },
+	},
 	"measure": {
 		Name: "measure", Framework: true, Core: ProposedConfig,
 		New: func() policy.Policy { return policy.NewMeasuring() },

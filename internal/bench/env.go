@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/coll"
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/policy"
@@ -36,6 +37,17 @@ var DefaultSpans *span.Collector
 // sweeps serial: recorder creation order is the export order of runs.
 var DefaultTimeline *telemetry.Timeline
 
+// DefaultDevice, when set, names the device profile Build configures every
+// node of every environment with (unless the environment carries its own
+// Device/Fleet/Cluster). offloadbench sets it from the -device flag; ""
+// keeps the legacy baseline part.
+var DefaultDevice string
+
+// DefaultFleet is the -fleet analogue of DefaultDevice: a per-node profile
+// spec in device.ExpandFleet grammar ("bf2:2,bf3:2"). It overrides
+// DefaultDevice.
+var DefaultFleet string
+
 // Shards, when != 1, switches every environment Build creates (that does
 // not carry its own cluster-level value) to lookahead-sharded kernel
 // execution with that many shards (0 = one shard per node). offloadbench
@@ -52,6 +64,8 @@ type Options struct {
 	Policy        string          // offload-policy bundle name (overrides Scheme's backend wiring)
 	Backed        bool            // payload-backed buffers (correctness runs)
 	ProxiesPerDPU int             // 0 = cluster default
+	Device        string          // device profile for every node ("" = DefaultDevice, then baseline)
+	Fleet         string          // per-node profile spec, device.ExpandFleet grammar (overrides Device)
 	Cluster       *cluster.Config // full override (optional)
 	Core          *core.Config    // framework override (optional)
 
@@ -89,9 +103,34 @@ func needsFramework(scheme string) bool {
 // Build constructs the environment.
 func Build(opt Options) *Env {
 	var ccfg cluster.Config
-	if opt.Cluster != nil {
+	dev, fleet := opt.Device, opt.Fleet
+	if dev == "" {
+		dev = DefaultDevice
+	}
+	if fleet == "" {
+		fleet = DefaultFleet
+	}
+	switch {
+	case opt.Cluster != nil:
 		ccfg = *opt.Cluster
-	} else {
+	case fleet != "":
+		names, err := device.ExpandFleet(fleet, opt.Nodes)
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		// The cluster-wide wire parameters come from the first node's
+		// profile (fabrics are a cluster property, devices a node one);
+		// per-node ports and capabilities come from NodeProfiles.
+		ccfg = cluster.ProfileConfig(names[0], opt.Nodes, opt.PPN)
+		ccfg.NodeProfiles = names
+	case dev != "":
+		ccfg = cluster.ProfileConfig(dev, opt.Nodes, opt.PPN)
+		names := make([]string, opt.Nodes)
+		for i := range names {
+			names[i] = dev
+		}
+		ccfg.NodeProfiles = names
+	default:
 		ccfg = cluster.DefaultConfig(opt.Nodes, opt.PPN)
 	}
 	ccfg.BackedPayload = opt.Backed

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/baseline"
+	"repro/internal/device"
 	"repro/internal/metrics"
 	"repro/internal/span"
 	"repro/internal/telemetry"
@@ -21,6 +22,8 @@ type CommonFlags struct {
 	SpansPath      string
 	TimeseriesPath string
 	Policy         string
+	Device         string
+	Fleet          string
 	Parallel       int
 	Shards         int
 
@@ -54,7 +57,34 @@ func RegisterCommonFlags(fs *flag.FlagSet) *CommonFlags {
 		"kernel event shards per simulation (0 = one per node, 1 = serial); results are identical at any value")
 	fs.StringVar(&cf.Policy, "policy", "",
 		"offload policy: "+strings.Join(baseline.PolicyNames(), " | ")+" (empty = scheme default)")
+	fs.StringVar(&cf.Device, "device", "",
+		"device profile for every node: "+strings.Join(device.Names(), " | ")+
+			"; \"list\" prints the capability matrix and exits (empty = "+device.BaselineName+")")
+	fs.StringVar(&cf.Fleet, "fleet", "",
+		"per-node device profiles as \"name[:count],...\" summing to the node count"+
+			" (e.g. \"bf2:2,bf3:2\"); \"help\" prints the grammar and capability matrix"+
+			" and exits; overrides -device")
 	return cf
+}
+
+// HandleDeviceQuery services the documentation values of -device/-fleet:
+// "-device list" and "-fleet help" print the device capability matrix (plus
+// the fleet grammar for the latter) to out and report true, and the caller
+// is expected to exit with status 0 without running anything.
+func (cf *CommonFlags) HandleDeviceQuery(out io.Writer) bool {
+	switch {
+	case cf.Device == "list":
+		device.WriteMatrix(out)
+		return true
+	case cf.Fleet == "help":
+		fmt.Fprintln(out, "-fleet assigns a device profile per node: \"name[:count],...\"")
+		fmt.Fprintln(out, "counts must sum to the node count; a bare name covers every node.")
+		fmt.Fprintln(out, "example: -fleet bf2:2,bf3:2 on a 4-node run.")
+		fmt.Fprintln(out)
+		device.WriteMatrix(out)
+		return true
+	}
+	return false
 }
 
 // Activate applies the parsed flags to the bench globals — Parallelism plus
@@ -68,6 +98,8 @@ func (cf *CommonFlags) Activate() int {
 	}
 	Parallelism = workers
 	Shards = cf.Shards
+	DefaultDevice = cf.Device
+	DefaultFleet = cf.Fleet
 	if cf.MetricsPath != "" {
 		cf.reg = metrics.NewRegistry()
 		DefaultMetrics = cf.reg

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"flag"
+	"strings"
 	"testing"
 )
 
@@ -31,5 +32,39 @@ func TestRegisterCommonFlagsIdempotent(t *testing.T) {
 	other := RegisterCommonFlags(flag.NewFlagSet("other", flag.ContinueOnError))
 	if other == first {
 		t.Fatal("distinct FlagSets shared one CommonFlags")
+	}
+}
+
+// "-device list" and "-fleet help" are documentation queries: they print
+// the capability matrix (the fleet variant adds the grammar) and report
+// true, which every CLI translates into a clean exit-0 without running a
+// benchmark. Anything else runs normally.
+func TestHandleDeviceQuery(t *testing.T) {
+	var buf strings.Builder
+	cf := &CommonFlags{Device: "list"}
+	if !cf.HandleDeviceQuery(&buf) {
+		t.Fatal("-device list not treated as a query")
+	}
+	if !strings.Contains(buf.String(), "bf2") || !strings.Contains(buf.String(), "CROSS-GVMI") {
+		t.Fatalf("-device list did not print the capability matrix:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	cf = &CommonFlags{Fleet: "help"}
+	if !cf.HandleDeviceQuery(&buf) {
+		t.Fatal("-fleet help not treated as a query")
+	}
+	if !strings.Contains(buf.String(), "name[:count]") || !strings.Contains(buf.String(), "bf3") {
+		t.Fatalf("-fleet help did not print the grammar and matrix:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	for _, cf := range []*CommonFlags{{}, {Device: "bf3"}, {Fleet: "bf2:2,bf3:2"}} {
+		if cf.HandleDeviceQuery(&buf) {
+			t.Fatalf("%+v treated as a documentation query", cf)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("non-query flags printed output: %s", buf.String())
 	}
 }

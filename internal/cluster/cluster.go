@@ -9,6 +9,7 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/device"
 	"repro/internal/fabric"
 	"repro/internal/fault"
 	"repro/internal/gvmi"
@@ -32,6 +33,20 @@ type Config struct {
 	DPUPort  fabric.Params
 	Verbs    verbs.CostConfig
 	GVMI     gvmi.CostConfig
+
+	// NodeProfiles assigns a device profile name per node (len == Nodes)
+	// for mixed fleets: each named node's ports come from its profile
+	// instead of HostPort/DPUPort, and nodes whose profile has a DSA
+	// engine get a third (engine) endpoint. Nil or empty entries keep the
+	// homogeneous HostPort/DPUPort values above — the pre-substrate
+	// behaviour, bit-exact.
+	NodeProfiles []string
+
+	// RichTelemetry opts into the per-endpoint congestion series
+	// (fabric "goodput_bytes" and verbs "endpoint_retries" gauges).
+	// Off by default: the extra series would change the byte-identical
+	// checked-in benchmark snapshots.
+	RichTelemetry bool
 
 	// BackedPayload allocates real bytes in every buffer so data integrity
 	// can be verified. Figure-scale runs switch it off; virtual-time results
@@ -79,15 +94,18 @@ type Config struct {
 	Timeline *telemetry.Recorder
 }
 
-// DefaultConfig returns the standard testbed with the given shape.
-func DefaultConfig(nodes, ppn int) Config {
+// FromProfile builds the standard testbed around one device profile:
+// fabric generation, port parameters and proxy count come from the
+// profile; host-side properties (memcpy bandwidth, shm latency, verbs and
+// GVMI cost models) are the paper's platform defaults.
+func FromProfile(p device.Profile, nodes, ppn int) Config {
 	return Config{
 		Nodes:         nodes,
 		PPN:           ppn,
-		ProxiesPerDPU: 8,
-		Fabric:        fabric.DefaultConfig(),
-		HostPort:      fabric.HostPortParams,
-		DPUPort:       fabric.DPUPortParams,
+		ProxiesPerDPU: p.ProxiesPerDPU,
+		Fabric:        p.Fabric,
+		HostPort:      p.HostPort,
+		DPUPort:       p.DPUPort,
 		Verbs:         verbs.DefaultCosts(),
 		GVMI:          gvmi.DefaultCosts(),
 		BackedPayload: true,
@@ -96,25 +114,41 @@ func DefaultConfig(nodes, ppn int) Config {
 	}
 }
 
+// ProfileConfig is FromProfile by registry name.
+func ProfileConfig(name string, nodes, ppn int) Config {
+	return FromProfile(device.MustLookup(name), nodes, ppn)
+}
+
+// DefaultConfig returns the standard testbed with the given shape: the
+// paper's platform, i.e. the bf2 device profile. Equivalence with the
+// pre-substrate hard-coded values is pinned by TestProfileEquivalence.
+func DefaultConfig(nodes, ppn int) Config {
+	return ProfileConfig(device.BaselineName, nodes, ppn)
+}
+
 // BlueField3Config is the future-work platform of Section X: BlueField-3
-// SmartNICs (faster ARM cores) on an NDR InfiniBand fabric.
+// SmartNICs (faster ARM cores) on an NDR InfiniBand fabric — the bf3
+// device profile.
 func BlueField3Config(nodes, ppn int) Config {
-	cfg := DefaultConfig(nodes, ppn)
-	cfg.Fabric = fabric.NDRConfig()
-	cfg.HostPort = fabric.HostPortParamsNDR
-	cfg.DPUPort = fabric.DPUPortParamsBF3
-	return cfg
+	return ProfileConfig("bf3", nodes, ppn)
 }
 
 // NP returns the total number of host processes.
 func (c Config) NP() int { return c.Nodes * c.PPN }
 
 // Node is one machine: a host port shared by its PPN host processes and a
-// DPU port shared by its proxies.
+// DPU port shared by its proxies. Nodes whose device profile carries a
+// DSA engine also expose the engine's injection port.
 type Node struct {
 	ID     int
 	HostEP *fabric.Endpoint
 	DPUEP  *fabric.Endpoint
+	// DSAEP is the hardware DMA/DSA engine port; nil unless the node's
+	// profile has one (so default clusters create the exact same
+	// endpoint set — and metric series — as before the substrate).
+	DSAEP *fabric.Endpoint
+	// Profile is the node's resolved device profile.
+	Profile device.Profile
 }
 
 // Site is the hardware attachment point of one simulated process: its
@@ -201,6 +235,10 @@ func New(cfg Config) *Cluster {
 		f.SetMetrics(cfg.Metrics)
 		reg.SetMetrics(cfg.Metrics)
 		c.Met = cfg.Metrics
+		if cfg.RichTelemetry {
+			f.SetRichTelemetry(true)
+			reg.SetRichTelemetry(true)
+		}
 	}
 	if cfg.Spans.Enabled() {
 		cfg.Spans.AttachClock(k)
@@ -212,13 +250,66 @@ func New(cfg Config) *Cluster {
 		cfg.Timeline.Start(k, cfg.Metrics)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		c.Nodes = append(c.Nodes, &Node{
-			ID:     i,
-			HostEP: f.NewEndpoint(fmt.Sprintf("n%d.host", i), i, cfg.HostPort),
-			DPUEP:  f.NewEndpoint(fmt.Sprintf("n%d.dpu", i), i, cfg.DPUPort),
-		})
+		p := device.Generic(cfg.HostPort, cfg.DPUPort)
+		if i < len(cfg.NodeProfiles) && cfg.NodeProfiles[i] != "" {
+			p = device.MustLookup(cfg.NodeProfiles[i])
+		}
+		n := &Node{
+			ID:      i,
+			HostEP:  f.NewEndpoint(fmt.Sprintf("n%d.host", i), i, p.HostPort),
+			DPUEP:   f.NewEndpoint(fmt.Sprintf("n%d.dpu", i), i, p.DPUPort),
+			Profile: p,
+		}
+		if p.HasDSA {
+			n.DSAEP = f.NewEndpoint(fmt.Sprintf("n%d.dsa", i), i, p.DSAPort)
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	if cfg.Timeline.Enabled() {
+		// Nodes exist now, so the recorder can tag per-node series with the
+		// owning device profile; a fleet without named profiles yields an
+		// empty map and exports stay byte-identical.
+		cfg.Timeline.SetDeviceLabels(c.DeviceLabels())
 	}
 	return c
+}
+
+// ProfileOf returns the resolved device profile of one node. Nodes
+// without an explicit NodeProfiles entry report the generic full-caps
+// profile built from the homogeneous port parameters.
+func (c *Cluster) ProfileOf(node int) device.Profile { return c.Nodes[node].Profile }
+
+// FleetProfile returns the fleet-consistent capability merge of every
+// node's profile — the view fleet-global (collective) policy rules must
+// consume so all ranks decide identically.
+func (c *Cluster) FleetProfile() device.Profile {
+	ps := make([]device.Profile, len(c.Nodes))
+	for i, n := range c.Nodes {
+		ps[i] = n.Profile
+	}
+	return device.Merge(ps)
+}
+
+// DeviceLabels maps per-node metric/telemetry entity names ("n3.host",
+// "n3.dpu", "n3.dsa", "proxy5") to the owning node's device profile name.
+// Empty when no node carries a named profile, so exports predating the
+// device dimension stay byte-identical.
+func (c *Cluster) DeviceLabels() map[string]string {
+	out := map[string]string{}
+	for _, n := range c.Nodes {
+		if n.Profile.Name == "" {
+			continue
+		}
+		out[fmt.Sprintf("n%d.host", n.ID)] = n.Profile.Name
+		out[fmt.Sprintf("n%d.dpu", n.ID)] = n.Profile.Name
+		if n.DSAEP != nil {
+			out[fmt.Sprintf("n%d.dsa", n.ID)] = n.Profile.Name
+		}
+		for l := 0; l < c.Cfg.ProxiesPerDPU; l++ {
+			out[fmt.Sprintf("proxy%d", n.ID*c.Cfg.ProxiesPerDPU+l)] = n.Profile.Name
+		}
+	}
+	return out
 }
 
 // NewHostSite creates the attachment point for a host process on a node.

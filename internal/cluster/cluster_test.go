@@ -1,9 +1,14 @@
 package cluster
 
 import (
+	"reflect"
 	"testing"
 
+	"repro/internal/device"
+	"repro/internal/fabric"
+	"repro/internal/gvmi"
 	"repro/internal/sim"
+	"repro/internal/verbs"
 )
 
 func TestTopologyMapping(t *testing.T) {
@@ -96,5 +101,88 @@ func TestBlueField3ConfigFaster(t *testing.T) {
 	}
 	if bf3.Fabric.LoopbackGBps <= bf2.Fabric.LoopbackGBps {
 		t.Fatal("Gen5 loopback must be faster")
+	}
+}
+
+// TestProfileEquivalence pins the device-profile lookups to the exact
+// pre-substrate hard-coded configurations: DefaultConfig must equal the
+// old fabric.HostPortParams/DPUPortParams testbed and BlueField3Config
+// the old HostPortParamsNDR/DPUPortParamsBF3 one, field for field. The
+// old constants are re-hard-coded here on purpose — this test is the
+// record of what the refactor must not move.
+func TestProfileEquivalence(t *testing.T) {
+	legacyDefault := Config{
+		Nodes:         4,
+		PPN:           8,
+		ProxiesPerDPU: 8,
+		Fabric:        fabric.DefaultConfig(),
+		HostPort:      fabric.Params{Overhead: 250 * sim.Nanosecond, GBps: 12.5},
+		DPUPort:       fabric.Params{Overhead: 600 * sim.Nanosecond, GBps: 12.5},
+		Verbs:         verbs.DefaultCosts(),
+		GVMI:          gvmi.DefaultCosts(),
+		BackedPayload: true,
+		HostCopyGBps:  6.0,
+		ShmLatency:    200 * sim.Nanosecond,
+	}
+	if got := DefaultConfig(4, 8); !reflect.DeepEqual(got, legacyDefault) {
+		t.Fatalf("DefaultConfig diverged from the pre-substrate testbed:\ngot  %+v\nwant %+v", got, legacyDefault)
+	}
+
+	legacyBF3 := legacyDefault
+	legacyBF3.Fabric = fabric.NDRConfig()
+	legacyBF3.HostPort = fabric.Params{Overhead: 220 * sim.Nanosecond, GBps: 25}
+	legacyBF3.DPUPort = fabric.Params{Overhead: 350 * sim.Nanosecond, GBps: 25}
+	if got := BlueField3Config(4, 8); !reflect.DeepEqual(got, legacyBF3) {
+		t.Fatalf("BlueField3Config diverged from the pre-substrate platform:\ngot  %+v\nwant %+v", got, legacyBF3)
+	}
+
+	// The lookups really are profile-driven, not parallel copies.
+	if got := ProfileConfig("bf2", 4, 8); !reflect.DeepEqual(got, legacyDefault) {
+		t.Fatalf("ProfileConfig(bf2) != DefaultConfig")
+	}
+	if got := FromProfile(device.MustLookup("bf3"), 4, 8); !reflect.DeepEqual(got, legacyBF3) {
+		t.Fatalf("FromProfile(bf3) != BlueField3Config")
+	}
+}
+
+// A cluster built without NodeProfiles reports generic full-capability
+// profiles, and one built with a mixed NodeProfiles list reports the named
+// profile per node (with the DSA endpoint only where the part has one).
+func TestNodeProfileAssignment(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	cfg.NodeProfiles = []string{"bf2", "dsa-offpath"}
+	c := New(cfg)
+	if got := c.ProfileOf(0).Name; got != "bf2" {
+		t.Fatalf("node 0 profile = %q, want bf2", got)
+	}
+	if got := c.ProfileOf(1).Name; got != "dsa-offpath" {
+		t.Fatalf("node 1 profile = %q, want dsa-offpath", got)
+	}
+	if c.Nodes[0].DSAEP != nil {
+		t.Fatal("bf2 node grew a DSA endpoint")
+	}
+	if c.Nodes[1].DSAEP == nil {
+		t.Fatal("dsa-offpath node is missing its DSA endpoint")
+	}
+	fleet := c.FleetProfile()
+	if fleet.CrossGVMI || fleet.HasDSA {
+		t.Fatalf("bf2+dsa-offpath fleet merge = gvmi:%v dsa:%v, want neither", fleet.CrossGVMI, fleet.HasDSA)
+	}
+
+	labels := c.DeviceLabels()
+	if labels["n0.host"] != "bf2" || labels["n1.dsa"] != "dsa-offpath" {
+		t.Fatalf("device labels wrong: %v", labels)
+	}
+
+	// Legacy cluster: generic profiles, no labels, full caps everywhere.
+	plain := New(DefaultConfig(2, 1))
+	if name := plain.ProfileOf(0).Name; name != "" {
+		t.Fatalf("unprofiled node is named %q", name)
+	}
+	if !plain.FleetProfile().CrossGVMI {
+		t.Fatal("unprofiled fleet lost cross-GVMI")
+	}
+	if len(plain.DeviceLabels()) != 0 {
+		t.Fatalf("unprofiled cluster emitted device labels: %v", plain.DeviceLabels())
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datapath"
+	"repro/internal/device"
 	"repro/internal/mem"
 	"repro/internal/mpi"
 	"repro/internal/policy"
@@ -27,6 +28,13 @@ type PolicyOps struct {
 	h    *core.Host
 	eng  *policy.Engine
 
+	// fleet is the cluster's capability merge (device.Merge over nodes),
+	// attached to every group request: collective decisions must be legal
+	// on — and identical for — every participant, so they are made
+	// against the weakest common capability set. Full-capability on
+	// homogeneous legacy clusters, where it changes nothing.
+	fleet device.Profile
+
 	host  *HostOps
 	off   map[datapath.Kind]*OffloadOps
 	calls map[opSite]int
@@ -48,6 +56,7 @@ func NewPolicyOps(name string, r *mpi.Rank, h *core.Host, eng *policy.Engine) *P
 		r:     r,
 		h:     h,
 		eng:   eng,
+		fleet: h.FleetProfile(),
 		host:  NewHostOps(name, r),
 		off:   make(map[datapath.Kind]*OffloadOps),
 		calls: make(map[opSite]int),
@@ -75,7 +84,7 @@ func (o *PolicyOps) route(kind string, slot, size int) (policy.Request, policy.D
 	s := opSite{kind: kind, slot: slot, size: size}
 	n := o.calls[s]
 	o.calls[s] = n + 1
-	q := policy.Request{Class: policy.ClassGroup, Size: size, Call: n}
+	q := policy.Request{Class: policy.ClassGroup, Size: size, Call: n, Caps: &o.fleet}
 	return q, o.eng.Decide(q)
 }
 
@@ -215,9 +224,14 @@ func NewPolicyP2P(name string, r *mpi.Rank, h *core.Host, eng *policy.Engine) *P
 // Name implements P2P.
 func (o *PolicyP2P) Name() string { return o.name }
 
-// decide asks the engine for the path of one inter-node transfer.
-func (o *PolicyP2P) decide(size int) datapath.Kind {
-	return o.eng.Decide(policy.Request{Class: policy.ClassP2P, Size: size}).Path
+// decide asks the engine for the path of one inter-node transfer. The
+// decision is keyed on the *sender's* node profile — a quantity both
+// endpoints can compute (the receiver derives it from the source rank) —
+// so sender and receiver resolve capability fallbacks identically and
+// never disagree about host-vs-proxy.
+func (o *PolicyP2P) decide(size, sender int) datapath.Kind {
+	caps := o.h.ProfileOfRank(sender)
+	return o.eng.Decide(policy.Request{Class: policy.ClassP2P, Size: size, Caps: &caps}).Path
 }
 
 // Isend implements P2P.
@@ -225,7 +239,7 @@ func (o *PolicyP2P) Isend(addr mem.Addr, size, dst, tag int) Request {
 	if o.r.World().SameNode(o.r.RankID(), dst) {
 		return o.r.Isend(addr, size, dst, tag)
 	}
-	if k := o.decide(size); k != datapath.KindHostDirect {
+	if k := o.decide(size, o.r.RankID()); k != datapath.KindHostDirect {
 		return o.h.SendOffloadVia(k, addr, size, dst, tag)
 	}
 	return o.r.Isend(addr, size, dst, tag)
@@ -233,13 +247,13 @@ func (o *PolicyP2P) Isend(addr mem.Addr, size, dst, tag int) Request {
 
 // Irecv implements P2P. The receive side is path-agnostic on the proxy
 // (RecvOffload registers the destination either way); it only needs to
-// agree with the sender about host-vs-proxy, which the shared decision rule
-// guarantees.
+// agree with the sender about host-vs-proxy, which the shared sender-keyed
+// decision rule guarantees.
 func (o *PolicyP2P) Irecv(addr mem.Addr, size, src, tag int) Request {
 	if o.r.World().SameNode(o.r.RankID(), src) {
 		return o.r.Irecv(addr, size, src, tag)
 	}
-	if k := o.decide(size); k != datapath.KindHostDirect {
+	if k := o.decide(size, src); k != datapath.KindHostDirect {
 		return o.h.RecvOffload(addr, size, src, tag)
 	}
 	return o.r.Irecv(addr, size, src, tag)

@@ -17,6 +17,17 @@ var _ datapath.Exec = (*Proxy)(nil)
 // PostWrite implements datapath.Exec.
 func (px *Proxy) PostWrite(op verbs.WriteOp) error { return px.ctx.PostWrite(px.proc, op) }
 
+// PostEngineWrite implements datapath.Exec: the write is posted through
+// the node's DSA engine port (its own injection overhead and line rate)
+// instead of the ARM-driven proxy context. The proxy core still pays the
+// descriptor handoff (PostWR) — the control plane stays in software.
+func (px *Proxy) PostEngineWrite(op verbs.WriteOp) error {
+	if px.dsaCtx == nil {
+		panic("core: KindDSA transfer on a node whose device profile has no DSA engine")
+	}
+	return px.dsaCtx.PostWrite(px.proc, op)
+}
+
 // PostRead implements datapath.Exec.
 func (px *Proxy) PostRead(op verbs.ReadOp) error { return px.ctx.PostRead(px.proc, op) }
 
@@ -54,6 +65,9 @@ func (px *Proxy) CountRead() { px.RDMAReads++ }
 
 // CountStaged implements datapath.Exec.
 func (px *Proxy) CountStaged() { px.StagedOps++ }
+
+// CountEngine implements datapath.Exec.
+func (px *Proxy) CountEngine() { px.EngineOps++ }
 
 // stageBuf implements datapath.Stage.
 var _ datapath.Stage = (*stageBuf)(nil)

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/datapath"
+	"repro/internal/device"
 	"repro/internal/fault"
 	"repro/internal/gvmi"
 	"repro/internal/regcache"
@@ -183,6 +184,19 @@ func (fw *Framework) DefaultPath() datapath.Kind {
 
 // Cluster returns the underlying cluster.
 func (fw *Framework) Cluster() *cluster.Cluster { return fw.cl }
+
+// ProfileOfRank returns the device profile of the node hosting rank.
+func (fw *Framework) ProfileOfRank(rank int) device.Profile {
+	return fw.cl.ProfileOf(fw.cl.NodeOfRank(rank))
+}
+
+// CapsOfRank returns the datapath capability set of the node hosting rank.
+// Every rank that knows the sender's node can compute this, which is what
+// keeps capability fallbacks consistent across a pair or a group.
+func (fw *Framework) CapsOfRank(rank int) datapath.Caps {
+	p := fw.ProfileOfRank(rank)
+	return datapath.Caps{CrossGVMI: p.CrossGVMI, DSA: p.HasDSA}
+}
 
 // Config returns the framework configuration.
 func (fw *Framework) Config() Config { return fw.cfg }

@@ -91,6 +91,9 @@ func (h *Host) GroupStartVia(kind datapath.Kind) *GroupRequest {
 	if !kind.Valid() || kind == datapath.KindHostDirect {
 		panic(fmt.Sprintf("core: GroupStartVia on non-proxy path %v", kind))
 	}
+	// As in SendOffloadVia: the recording rank's device decides what the
+	// baked-in path degrades to (identity on full-capability profiles).
+	kind = datapath.Resolve(kind, h.fw.CapsOfRank(h.rank))
 	g := &GroupRequest{h: h, id: h.nextGroup, path: kind}
 	h.nextGroup++
 	h.groups[g.id] = g

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/datapath"
+	"repro/internal/device"
 	"repro/internal/gvmi"
 	"repro/internal/mem"
 	"repro/internal/metrics"
@@ -169,6 +170,13 @@ func (h *Host) ibRegister(addr mem.Addr, size int) *verbs.MR {
 // is given (the framework's construction-time mechanism).
 func (h *Host) DefaultPath() datapath.Kind { return h.fw.DefaultPath() }
 
+// FleetProfile returns the capability merge across the cluster's nodes
+// (see device.Merge) — the profile group decisions must be made against.
+func (h *Host) FleetProfile() device.Profile { return h.fw.cl.FleetProfile() }
+
+// ProfileOfRank returns the device profile of the node hosting rank.
+func (h *Host) ProfileOfRank(rank int) device.Profile { return h.fw.ProfileOfRank(rank) }
+
 // SendOffload offloads a nonblocking send of [addr, addr+size) to rank dst
 // (Send_Offload) on the framework's default datapath.
 func (h *Host) SendOffload(addr mem.Addr, size, dst, tag int) *OffloadRequest {
@@ -181,6 +189,10 @@ func (h *Host) SendOffload(addr mem.Addr, size, dst, tag int) *OffloadRequest {
 // transfer on that path. The kind must be proxy-executable — HostDirect
 // transfers go through the MPI library, not this framework.
 func (h *Host) SendOffloadVia(kind datapath.Kind, addr mem.Addr, size, dst, tag int) *OffloadRequest {
+	// Degrade the requested path to one the sender's device can run. On
+	// full-capability profiles Resolve is the identity, and the receiver's
+	// RTR metadata is path-independent, so the fallback needs no handshake.
+	kind = datapath.Resolve(kind, h.fw.CapsOfRank(h.rank))
 	dst = h.peer(dst)
 	px := h.fw.proxyFor(h.rank)
 	req := h.newReq()

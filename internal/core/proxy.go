@@ -40,6 +40,7 @@ type Proxy struct {
 	local  int
 	site   *cluster.Site
 	ctx    *verbs.Ctx
+	dsaCtx *verbs.Ctx // posts through the node's DSA engine port; nil without one
 	proc   *sim.Proc
 	gvmiID gvmi.ID
 
@@ -68,6 +69,7 @@ type Proxy struct {
 	RDMAWrites int64
 	RDMAReads  int64
 	StagedOps  int64
+	EngineOps  int64
 	GroupHits  int64
 	GroupMiss  int64
 
@@ -108,6 +110,9 @@ func newProxy(fw *Framework, global, node, local int, site *cluster.Site) *Proxy
 		groups:     make(map[groupKey]*proxyGroup),
 		deliveries: make(map[deliveryKey]int),
 		stagePool:  make(map[int][]*stageBuf),
+	}
+	if site.Node.DSAEP != nil {
+		px.dsaCtx = site.Ctx.Registry().NewCtx(site.Ctx.Name()+".dsa", site.Space, site.Node.DSAEP)
 	}
 	px.instrument()
 	return px

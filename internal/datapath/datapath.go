@@ -33,7 +33,7 @@ import (
 // Kind identifies a datapath on the wire and in policy tables.
 type Kind int
 
-// The three datapaths.
+// The datapaths.
 const (
 	// KindCrossGVMI is the proposed direct host-to-host path.
 	KindCrossGVMI Kind = iota
@@ -41,6 +41,11 @@ const (
 	KindStaged
 	// KindHostDirect is the host MPI path; no proxy involvement.
 	KindHostDirect
+	// KindDSA is the engine-driven path of DSA-equipped off-path parts:
+	// the proxy hands the descriptor to the hardware DMA engine, which
+	// posts the host-to-host write itself — skipping the ARM cores'
+	// injection overhead entirely.
+	KindDSA
 
 	numKinds
 )
@@ -55,16 +60,60 @@ func (k Kind) String() string {
 		return "staged"
 	case KindHostDirect:
 		return "hostdirect"
+	case KindDSA:
+		return "dsa"
 	default:
 		return fmt.Sprintf("unknown(%d)", int(k))
 	}
 }
 
-// Valid reports whether k names one of the three datapaths.
+// Valid reports whether k names one of the datapaths.
 func (k Kind) Valid() bool { return k >= 0 && k < numKinds }
 
 // Kinds lists every datapath kind (for tests and ablation sweeps).
-func Kinds() []Kind { return []Kind{KindCrossGVMI, KindStaged, KindHostDirect} }
+func Kinds() []Kind { return []Kind{KindCrossGVMI, KindStaged, KindHostDirect, KindDSA} }
+
+// Caps is the device-capability subset the datapath layer consults
+// (derived from a node's device.Profile by the core framework).
+type Caps struct {
+	// CrossGVMI: the part supports cross-function registration, so the
+	// proposed zero-copy path exists.
+	CrossGVMI bool
+	// DSA: the part has a hardware DMA engine with its own injection
+	// port.
+	DSA bool
+}
+
+// FullCaps is the capability set of the pre-substrate simulator: every
+// classic path available, no engine.
+func FullCaps() Caps { return Caps{CrossGVMI: true} }
+
+// Resolve maps a requested datapath to the one a node with capabilities c
+// can actually run. Cross-GVMI requests on parts without cross-function
+// registration ride the DSA engine when present and the staged path
+// otherwise; DSA requests on engineless parts fall back the same way in
+// reverse. The resolution is deterministic and identical on every rank
+// that knows the sender's capabilities, so senders and receivers agree.
+// On full-caps profiles it is the identity — the pre-substrate behaviour.
+func Resolve(k Kind, c Caps) Kind {
+	switch k {
+	case KindCrossGVMI:
+		if !c.CrossGVMI {
+			if c.DSA {
+				return KindDSA
+			}
+			return KindStaged
+		}
+	case KindDSA:
+		if !c.DSA {
+			if c.CrossGVMI {
+				return KindCrossGVMI
+			}
+			return KindStaged
+		}
+	}
+	return k
+}
 
 // SrcReg says what a sending host must register before handing the
 // transfer to its proxy.
@@ -109,10 +158,15 @@ type Exec interface {
 	Spans() *span.Collector
 	// TraceRDMA emits a trace event attributed to the executor.
 	TraceRDMA(event, detail string)
+	// PostEngineWrite posts an RDMA write through the node's DSA engine
+	// port instead of the ARM-driven proxy context (KindDSA only; panics
+	// on nodes whose profile has no engine — Resolve prevents that).
+	PostEngineWrite(op verbs.WriteOp) error
 	// Stat counters (mirrors the proxy's RDMAWrites/RDMAReads/StagedOps).
 	CountWrite()
 	CountRead()
 	CountStaged()
+	CountEngine()
 }
 
 // Transfer describes one source-to-destination movement a proxy executes.
@@ -167,6 +221,8 @@ func ForKind(k Kind) Datapath {
 		return Staged{}
 	case KindHostDirect:
 		return HostDirect{}
+	case KindDSA:
+		return DSA{}
 	default:
 		panic(fmt.Sprintf("datapath: no implementation for %v", k))
 	}
@@ -266,6 +322,50 @@ func (Staged) Execute(x Exec, t Transfer, done func()) *verbs.MR {
 	})
 	if err != nil {
 		panic(fmt.Sprintf("datapath: staged read: %v", err))
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// DSA
+
+// DSA is the engine-driven path of DSA-equipped off-path SmartNICs: the
+// proxy still matches the rendezvous (its handler cost is unavoidable —
+// the control plane stays in software) but the data movement is posted by
+// the hardware DMA engine through its own port, whose per-descriptor
+// overhead undercuts even the host port. The engine has host-memory
+// access through the source's plain IB registration, so no
+// cross-function registration is needed — one write, zero staging.
+type DSA struct{}
+
+// Kind implements Datapath.
+func (DSA) Kind() Kind { return KindDSA }
+
+// SrcReg implements Datapath: plain IB registration, like Staged — the
+// engine addresses host memory through the source rkey.
+func (DSA) SrcReg() SrcReg { return RegIB }
+
+// Execute implements Datapath.
+func (DSA) Execute(x Exec, t Transfer, done func()) *verbs.MR {
+	x.CountEngine()
+	x.CountWrite()
+	if t.Trace {
+		x.TraceRDMA("dsa-write", fmt.Sprintf("%d->%d size=%d", t.SrcHost, t.DstRank, t.Size))
+	}
+	err := x.PostEngineWrite(verbs.WriteOp{
+		LocalKey: t.SrcRKey, LocalAddr: t.SrcAddr,
+		RemoteKey: t.DstRKey, RemoteAddr: t.DstAddr,
+		Size: t.Size,
+		Span: t.Span,
+		OnRemoteComplete: func(at sim.Time) {
+			if t.EndSpan {
+				x.Spans().EndAt(t.Span, at)
+			}
+			x.Later(done)
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("datapath: dsa write: %v", err))
 	}
 	return nil
 }

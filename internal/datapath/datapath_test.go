@@ -38,6 +38,7 @@ func TestForKindRoundTrip(t *testing.T) {
 		KindCrossGVMI:  RegGVMI,
 		KindStaged:     RegIB,
 		KindHostDirect: RegNone,
+		KindDSA:        RegIB,
 	}
 	for _, k := range Kinds() {
 		dp := ForKind(k)
@@ -57,6 +58,50 @@ func TestForKindPanicsOnInvalid(t *testing.T) {
 		}
 	}()
 	ForKind(Kind(99))
+}
+
+func TestResolveFallbacks(t *testing.T) {
+	full := FullCaps() // pre-substrate caps: cross-GVMI yes, engine no
+	noGVMI := Caps{CrossGVMI: false, DSA: false}
+	noGVMIDSA := Caps{CrossGVMI: false, DSA: true}
+	noDSA := Caps{CrossGVMI: true, DSA: false}
+	both := Caps{CrossGVMI: true, DSA: true}
+	cases := []struct {
+		k    Kind
+		c    Caps
+		want Kind
+	}{
+		// Legal requests resolve to themselves.
+		{KindCrossGVMI, full, KindCrossGVMI},
+		{KindStaged, full, KindStaged},
+		{KindHostDirect, full, KindHostDirect},
+		{KindDSA, both, KindDSA},
+		// No cross-GVMI: gvmi degrades to the DSA engine when one exists,
+		// else to staged copies.
+		{KindCrossGVMI, noGVMI, KindStaged},
+		{KindCrossGVMI, noGVMIDSA, KindDSA},
+		// No DSA engine: dsa degrades to gvmi when legal, else staged.
+		{KindDSA, noDSA, KindCrossGVMI},
+		{KindDSA, noGVMI, KindStaged},
+		// Staged and hostdirect need no device capability.
+		{KindStaged, noGVMI, KindStaged},
+		{KindHostDirect, noGVMI, KindHostDirect},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.k, c.c); got != c.want {
+			t.Errorf("Resolve(%v, %+v) = %v, want %v", c.k, c.c, got, c.want)
+		}
+	}
+	// Determinism: resolving twice (a resolved kind is already legal) is
+	// a fixed point, so retrying a decision never flips the path.
+	for _, k := range Kinds() {
+		for _, caps := range []Caps{full, noGVMI, noGVMIDSA, noDSA, both} {
+			once := Resolve(k, caps)
+			if twice := Resolve(once, caps); twice != once {
+				t.Errorf("Resolve not idempotent: %v under %+v -> %v -> %v", k, caps, once, twice)
+			}
+		}
+	}
 }
 
 func TestHostDirectExecutePanics(t *testing.T) {

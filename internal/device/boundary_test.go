@@ -1,0 +1,66 @@
+package device
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// rawPortConstants matches uses of the pre-substrate hard-coded port
+// parameter sets. The constants themselves were deleted when the device
+// registry absorbed them; this test keeps them from creeping back in as
+// package-level copies somewhere else in the tree.
+var rawPortConstants = regexp.MustCompile(
+	`fabric\.(HostPortParams|DPUPortParams|HostPortParamsNDR|DPUPortParamsBF3)\b`)
+
+// TestNoRawPortConstantsOutsideDevice walks every non-test Go source in
+// the repository and fails if any package other than internal/device
+// references the legacy fabric port-parameter constants. The device
+// registry is the single home for vendor port parameters; everything
+// else must go through a Profile.
+func TestNoRawPortConstantsOutsideDevice(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found at %s: %v", root, err)
+	}
+	self, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			if info.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		if strings.HasPrefix(path, self+string(filepath.Separator)) {
+			return nil // internal/device documents the old names in comments
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if rawPortConstants.MatchString(line) {
+				t.Errorf("%s:%d references a legacy port constant: %s",
+					path, i+1, strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package device
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/fabric"
+)
+
+// WriteMatrix renders the registered profiles and their capability matrix
+// as an aligned table — the output of `-device list` / `-fleet help`.
+func WriteMatrix(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "PROFILE\tARM\tSPEED\tHOST PORT\tNIC PORT\tCROSS-GVMI\tDSA\tDSA PORT\tSTAGING\tPROXIES")
+	for _, name := range Names() {
+		p := registry[name]
+		dsa, dsaPort := "-", "-"
+		if p.HasDSA {
+			dsa = "yes"
+			dsaPort = portString(p.DSAPort)
+		}
+		xgvmi := "yes"
+		if !p.CrossGVMI {
+			xgvmi = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%dc\t%.2fx\t%s\t%s\t%s\t%s\t%s\t%.1fGB/s\t%d\n",
+			p.Name, p.ARMCores, p.ARMSpeed,
+			portString(p.HostPort), portString(p.DPUPort),
+			xgvmi, dsa, dsaPort, p.StagingGBps, p.ProxiesPerDPU)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Ports are overhead/bandwidth (per-message posting cost, line rate).")
+	fmt.Fprintln(w, "Profiles without cross-GVMI fall back to the staged path (or the DSA")
+	fmt.Fprintln(w, "engine when present). -fleet assigns profiles per node: \"bf2:2,bf3:2\".")
+}
+
+func portString(p fabric.Params) string {
+	return fmt.Sprintf("%v/%.1fGB/s", p.Overhead, p.GBps)
+}

@@ -20,8 +20,8 @@ func TestTransferActionMatchesTransferAndAllocFree(t *testing.T) {
 	build := func() (*sim.Kernel, *Fabric, *Endpoint, *Endpoint) {
 		k := sim.NewKernel()
 		f := New(k, DefaultConfig())
-		src := f.NewEndpoint("n0.host", 0, HostPortParams)
-		dst := f.NewEndpoint("n1.host", 1, HostPortParams)
+		src := f.NewEndpoint("n0.host", 0, testHostPort)
+		dst := f.NewEndpoint("n1.host", 1, testHostPort)
 		return k, f, src, dst
 	}
 

@@ -73,6 +73,11 @@ type Endpoint struct {
 	mMsgsDisc, mBytesDisc *metrics.Counter
 	mMsgsDropped          *metrics.Counter
 	mMsgsDelayed          *metrics.Counter
+	// mGoodput is the per-endpoint cumulative-goodput gauge (rich
+	// telemetry only): set to BytesRecv at every delivery, so windowed
+	// readers (the feedback policy, the flight recorder) can difference
+	// it into a congestion signal.
+	mGoodput *metrics.Gauge
 }
 
 // Name returns the endpoint's diagnostic name.
@@ -107,25 +112,13 @@ func DefaultConfig() Config {
 	}
 }
 
-// Default endpoint parameter sets. HostPort is a ConnectX-class HCA driven
-// by host cores; DPUPort is the same silicon driven by BlueField ARM cores,
-// with ~2.4x the per-message overhead (reproduces Fig 2/3).
-var (
-	HostPortParams = Params{Overhead: 250 * sim.Nanosecond, GBps: 12.5}
-	DPUPortParams  = Params{Overhead: 600 * sim.Nanosecond, GBps: 12.5}
-)
+// Endpoint parameter sets (host vs DPU port, per device generation) live
+// in internal/device: injection characteristics are a property of the
+// SmartNIC part, not of the fabric, and every consumer goes through a
+// device.Profile. This package only defines the Params type and the
+// fabric generations (DefaultConfig / NDRConfig).
 
-// BlueField-3 / NDR-class parameter sets, for the paper's future-work
-// scenario (Section X: "next generation BlueField-3 SmartNICs and
-// Infiniband NDR interconnects"): faster ARM cores (Cortex-A78 vs A72)
-// roughly halve the per-message posting overhead, and NDR doubles the line
-// rate.
-var (
-	HostPortParamsNDR = Params{Overhead: 220 * sim.Nanosecond, GBps: 25}
-	DPUPortParamsBF3  = Params{Overhead: 350 * sim.Nanosecond, GBps: 25}
-)
-
-// NDRConfig is the matching fabric: slightly lower switch latency, PCIe
+// NDRConfig is the NDR-generation fabric: slightly lower switch latency, PCIe
 // Gen5 loopback.
 func NDRConfig() Config {
 	return Config{
@@ -137,12 +130,13 @@ func NDRConfig() Config {
 
 // Fabric connects endpoints and schedules deliveries on the kernel.
 type Fabric struct {
-	k   *sim.Kernel
-	cfg Config
-	eps []*Endpoint
-	inj *fault.Injector   // nil = no fault injection
-	met *metrics.Registry // nil = no metrics
-	sp  *span.Collector   // nil = no span tracing
+	k    *sim.Kernel
+	cfg  Config
+	eps  []*Endpoint
+	inj  *fault.Injector   // nil = no fault injection
+	met  *metrics.Registry // nil = no metrics
+	sp   *span.Collector   // nil = no span tracing
+	rich bool              // per-endpoint congestion gauges (opt-in)
 }
 
 // New creates a fabric on kernel k.
@@ -169,6 +163,12 @@ func (f *Fabric) SetMetrics(m *metrics.Registry) { f.met = m }
 // Metrics returns the attached registry (nil when metrics are off).
 func (f *Fabric) Metrics() *metrics.Registry { return f.met }
 
+// SetRichTelemetry opts endpoints created afterwards into the
+// per-endpoint congestion gauges ("goodput_bytes"). Off by default — the
+// extra series would change byte-identical legacy exports. Call before
+// creating endpoints, like SetMetrics.
+func (f *Fabric) SetRichTelemetry(on bool) { f.rich = on }
+
 // SetSpans attaches a span collector; nil disables tracing. Fated or not,
 // every transfer carrying a parent span then records an injection span on
 // the sender port and a wire span for the flight. Span collection never
@@ -193,6 +193,9 @@ func (f *Fabric) NewEndpoint(name string, node int, par Params) *Endpoint {
 		e.mBytesDisc = m.Counter("fabric", name, "bytes_discarded")
 		e.mMsgsDropped = m.Counter("fabric", name, "msgs_dropped")
 		e.mMsgsDelayed = m.Counter("fabric", name, "msgs_delayed")
+		if f.rich {
+			e.mGoodput = m.Gauge("fabric", name, "goodput_bytes")
+		}
 	}
 	f.eps = append(f.eps, e)
 	return e
@@ -350,6 +353,9 @@ func (f *Fabric) transfer(src, dst *Endpoint, size int, deliver func(), act sim.
 	dst.BytesRecv += int64(size)
 	dst.mMsgsRx.Inc()
 	dst.mBytesRx.Add(int64(size))
+	if dst.mGoodput != nil {
+		dst.mGoodput.Set(float64(dst.BytesRecv))
+	}
 	if fate == fault.FateDelay {
 		// Switch-buffering excursion: delivery (not port occupancy) is late.
 		// The port frees at the nominal time, so later messages on the same

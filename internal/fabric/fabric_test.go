@@ -7,12 +7,22 @@ import (
 	"repro/internal/sim"
 )
 
+// Test-local port parameter sets: the bf2/bf3 values that used to be
+// package constants here and now live in internal/device (which this
+// package cannot import — device depends on fabric).
+var (
+	testHostPort    = Params{Overhead: 250 * sim.Nanosecond, GBps: 12.5}
+	testDPUPort     = Params{Overhead: 600 * sim.Nanosecond, GBps: 12.5}
+	testHostPortNDR = Params{Overhead: 220 * sim.Nanosecond, GBps: 25}
+	testDPUPortBF3  = Params{Overhead: 350 * sim.Nanosecond, GBps: 25}
+)
+
 func testFabric() (*sim.Kernel, *Fabric, *Endpoint, *Endpoint, *Endpoint) {
 	k := sim.NewKernel()
 	f := New(k, DefaultConfig())
-	h0 := f.NewEndpoint("n0.host", 0, HostPortParams)
-	h1 := f.NewEndpoint("n1.host", 1, HostPortParams)
-	d0 := f.NewEndpoint("n0.dpu", 0, DPUPortParams)
+	h0 := f.NewEndpoint("n0.host", 0, testHostPort)
+	h1 := f.NewEndpoint("n1.host", 1, testHostPort)
+	d0 := f.NewEndpoint("n0.dpu", 0, testDPUPort)
 	return k, f, h0, h1, d0
 }
 
@@ -21,11 +31,11 @@ func TestTransferLatencyModel(t *testing.T) {
 	size := 1024
 	var arrived sim.Time
 	txDone, arrive := f.Transfer(h0, h1, size, func() { arrived = k.Now() })
-	wantSer := sim.Time(float64(size) / HostPortParams.GBps)
-	if want := HostPortParams.Overhead + wantSer; txDone != want {
+	wantSer := sim.Time(float64(size) / testHostPort.GBps)
+	if want := testHostPort.Overhead + wantSer; txDone != want {
 		t.Fatalf("txDone = %v, want %v", txDone, want)
 	}
-	if want := HostPortParams.Overhead + f.Config().WireLatency + wantSer; arrive != want {
+	if want := testHostPort.Overhead + f.Config().WireLatency + wantSer; arrive != want {
 		t.Fatalf("arrive = %v, want %v", arrive, want)
 	}
 	k.Run()
@@ -47,7 +57,7 @@ func TestSenderSerialization(t *testing.T) {
 	// first finishes.
 	tx1, _ := f.Transfer(h0, h1, 4096, nil)
 	tx2, _ := f.Transfer(h0, h1, 4096, nil)
-	per := HostPortParams.Overhead + sim.Time(4096/HostPortParams.GBps)
+	per := testHostPort.Overhead + sim.Time(4096/testHostPort.GBps)
 	if tx1 != per || tx2 != 2*per {
 		t.Fatalf("tx1=%v tx2=%v, want %v and %v", tx1, tx2, per, 2*per)
 	}
@@ -56,12 +66,12 @@ func TestSenderSerialization(t *testing.T) {
 func TestReceiverSerializationIncast(t *testing.T) {
 	k := sim.NewKernel()
 	f := New(k, DefaultConfig())
-	dst := f.NewEndpoint("dst", 9, HostPortParams)
+	dst := f.NewEndpoint("dst", 9, testHostPort)
 	const n = 4
 	const size = 1 << 20
 	var last sim.Time
 	for i := 0; i < n; i++ {
-		src := f.NewEndpoint("src", i, HostPortParams)
+		src := f.NewEndpoint("src", i, testHostPort)
 		_, a := f.Transfer(src, dst, size, nil)
 		if a > last {
 			last = a
@@ -70,7 +80,7 @@ func TestReceiverSerializationIncast(t *testing.T) {
 	k.Run()
 	// n concurrent senders into one port must take at least n serialized
 	// payload times at the receiver.
-	minSerialized := sim.Time(float64(n*size) / HostPortParams.GBps)
+	minSerialized := sim.Time(float64(n*size) / testHostPort.GBps)
 	if last < minSerialized {
 		t.Fatalf("incast finished at %v, faster than receiver line rate %v", last, minSerialized)
 	}
@@ -91,17 +101,17 @@ func TestHostVsDPUInjectionShape(t *testing.T) {
 	}
 
 	// Small-message latency within 30%.
-	lh, ld := latency(HostPortParams, 8), latency(DPUPortParams, 8)
+	lh, ld := latency(testHostPort, 8), latency(testDPUPort, 8)
 	if ratio := float64(ld) / float64(lh); ratio > 1.35 {
 		t.Fatalf("small-message DPU/host latency ratio %.2f, want close to 1", ratio)
 	}
 	// Small-message bandwidth of DPU path roughly half.
-	bh, bd := msgRateBW(HostPortParams, 4096), msgRateBW(DPUPortParams, 4096)
+	bh, bd := msgRateBW(testHostPort, 4096), msgRateBW(testDPUPort, 4096)
 	if r := bd / bh; r < 0.35 || r > 0.75 {
 		t.Fatalf("small-message DPU/host bandwidth ratio %.2f, want ~0.5", r)
 	}
 	// Large-message bandwidth converges.
-	bh, bd = msgRateBW(HostPortParams, 4<<20), msgRateBW(DPUPortParams, 4<<20)
+	bh, bd = msgRateBW(testHostPort, 4<<20), msgRateBW(testDPUPort, 4<<20)
 	if r := bd / bh; r < 0.95 {
 		t.Fatalf("large-message DPU/host bandwidth ratio %.2f, want ~1", r)
 	}
@@ -137,10 +147,10 @@ func TestNegativeSizePanics(t *testing.T) {
 func TestZeroSizeTransferStillHasOverheadAndLatency(t *testing.T) {
 	_, f, h0, h1, _ := testFabric()
 	tx, ar := f.Transfer(h0, h1, 0, nil)
-	if tx != HostPortParams.Overhead {
-		t.Fatalf("txDone = %v, want overhead %v", tx, HostPortParams.Overhead)
+	if tx != testHostPort.Overhead {
+		t.Fatalf("txDone = %v, want overhead %v", tx, testHostPort.Overhead)
 	}
-	if ar != HostPortParams.Overhead+f.Config().WireLatency {
+	if ar != testHostPort.Overhead+f.Config().WireLatency {
 		t.Fatalf("arrive = %v", ar)
 	}
 }
@@ -151,9 +161,9 @@ func TestPropertyArrivalMonotone(t *testing.T) {
 	f := func(sizes []uint16) bool {
 		k := sim.NewKernel()
 		fb := New(k, DefaultConfig())
-		src := fb.NewEndpoint("s", 0, HostPortParams)
-		dst := fb.NewEndpoint("d", 1, HostPortParams)
-		floor := HostPortParams.Overhead + fb.Config().WireLatency
+		src := fb.NewEndpoint("s", 0, testHostPort)
+		dst := fb.NewEndpoint("d", 1, testHostPort)
+		floor := testHostPort.Overhead + fb.Config().WireLatency
 		var prevArrive sim.Time
 		for _, sz := range sizes {
 			_, a := fb.Transfer(src, dst, int(sz), nil)
@@ -172,14 +182,14 @@ func TestPropertyArrivalMonotone(t *testing.T) {
 func TestLoopbackFasterThanWire(t *testing.T) {
 	k := sim.NewKernel()
 	f := New(k, DefaultConfig())
-	a := f.NewEndpoint("a", 0, HostPortParams)
-	b := f.NewEndpoint("b", 0, HostPortParams) // same node
-	c := f.NewEndpoint("c", 1, HostPortParams) // remote
+	a := f.NewEndpoint("a", 0, testHostPort)
+	b := f.NewEndpoint("b", 0, testHostPort) // same node
+	c := f.NewEndpoint("c", 1, testHostPort) // remote
 	const size = 1 << 20
 	_, local := f.Transfer(a, b, size, nil)
 	f2 := New(sim.NewKernel(), DefaultConfig())
-	a2 := f2.NewEndpoint("a", 0, HostPortParams)
-	c2 := f2.NewEndpoint("c", 1, HostPortParams)
+	a2 := f2.NewEndpoint("a", 0, testHostPort)
+	c2 := f2.NewEndpoint("c", 1, testHostPort)
 	_, remote := f2.Transfer(a2, c2, size, nil)
 	_ = c
 	if local >= remote {
@@ -193,10 +203,10 @@ func TestNDRConfigFaster(t *testing.T) {
 	if ndr.WireLatency >= hdr.WireLatency || ndr.LoopbackGBps <= hdr.LoopbackGBps {
 		t.Fatal("NDR config must improve on HDR")
 	}
-	if DPUPortParamsBF3.Overhead >= DPUPortParams.Overhead {
+	if testDPUPortBF3.Overhead >= testDPUPort.Overhead {
 		t.Fatal("BF3 posting must be faster than BF2")
 	}
-	if HostPortParamsNDR.GBps <= HostPortParams.GBps {
+	if testHostPortNDR.GBps <= testHostPort.GBps {
 		t.Fatal("NDR line rate must exceed HDR100")
 	}
 }

@@ -16,8 +16,8 @@ func fatedFabric(cfg *fault.Config) (*sim.Kernel, *Fabric, *Endpoint, *Endpoint,
 	met := metrics.NewRegistry()
 	f.SetMetrics(met)
 	f.SetInjector(fault.NewInjector(cfg))
-	src := f.NewEndpoint("n0.host", 0, HostPortParams)
-	dst := f.NewEndpoint("n1.host", 1, HostPortParams)
+	src := f.NewEndpoint("n0.host", 0, testHostPort)
+	dst := f.NewEndpoint("n1.host", 1, testHostPort)
 	return k, f, src, dst, met
 }
 
@@ -171,8 +171,8 @@ func TestFabricMetricsMirrorStats(t *testing.T) {
 	f := New(k, DefaultConfig())
 	met := metrics.NewRegistry()
 	f.SetMetrics(met)
-	src := f.NewEndpoint("a", 0, HostPortParams)
-	dst := f.NewEndpoint("b", 1, HostPortParams)
+	src := f.NewEndpoint("a", 0, testHostPort)
+	dst := f.NewEndpoint("b", 1, testHostPort)
 	f.Transfer(src, dst, 1000, nil)
 	f.Transfer(src, dst, 24, nil)
 	k.Run()

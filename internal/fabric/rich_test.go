@@ -1,0 +1,56 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Rich telemetry is opt-in per endpoint-creation: endpoints created after
+// SetRichTelemetry(true) export a cumulative "goodput_bytes" gauge that
+// tracks delivered bytes, and endpoints created before it export nothing —
+// the legacy metric set stays byte-identical.
+func TestRichTelemetryGoodputGauge(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, DefaultConfig())
+	met := metrics.NewRegistry()
+	f.SetMetrics(met)
+	legacy := f.NewEndpoint("n0.host", 0, testHostPort)
+	f.SetRichTelemetry(true)
+	rich := f.NewEndpoint("n1.host", 1, testHostPort)
+
+	f.Transfer(legacy, rich, 1000, nil)
+	f.Transfer(legacy, rich, 500, nil)
+	f.Transfer(rich, legacy, 64, nil)
+	k.Run()
+
+	if got := met.Gauge("fabric", "n1.host", "goodput_bytes").Value(); got != 1500 {
+		t.Fatalf("rich endpoint goodput gauge = %v, want 1500 delivered bytes", got)
+	}
+	// The pre-rich endpoint received 64 bytes but must not have grown a
+	// gauge; reading it above would have created one for n1.host only.
+	met.VisitGauges(func(key metrics.Key, g *metrics.Gauge) {
+		if key.Name == "goodput_bytes" && key.Entity == "n0.host" {
+			t.Fatalf("legacy endpoint grew a goodput gauge: %+v = %v", key, g.Value())
+		}
+	})
+}
+
+// Without SetRichTelemetry no goodput series exists at all — the gauge is
+// the only metric rich telemetry adds at this layer.
+func TestRichTelemetryOffExportsNoGoodput(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, DefaultConfig())
+	met := metrics.NewRegistry()
+	f.SetMetrics(met)
+	a := f.NewEndpoint("a", 0, testHostPort)
+	b := f.NewEndpoint("b", 1, testHostPort)
+	f.Transfer(a, b, 4096, nil)
+	k.Run()
+	met.VisitGauges(func(key metrics.Key, _ *metrics.Gauge) {
+		if key.Name == "goodput_bytes" {
+			t.Fatalf("goodput gauge exported with rich telemetry off: %+v", key)
+		}
+	})
+}

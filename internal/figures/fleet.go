@@ -1,0 +1,29 @@
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+)
+
+// FleetTable renders the mixed-fleet policy comparison: one row per policy
+// bundle on the half-BlueField-2 / half-BlueField-3 cluster, with the
+// capability-aware margin over the best fixed path and over the
+// capability-blind adaptive rule called out in the notes.
+func FleetTable(s bench.FleetSnapshot) *bench.Table {
+	t := &bench.Table{
+		Title: fmt.Sprintf("Mixed fleet (%s): pairwise exchange, %s, mean over ranks (us)",
+			s.Fleet, bench.SizeLabel(s.Size)),
+		Headers: []string{"Policy", "Pure", "Overall", "Overlap"},
+	}
+	for _, p := range s.Mixed {
+		t.AddRow(p.Policy,
+			bench.F2(float64(p.PureNS)/1e3),
+			bench.F2(float64(p.OverallNS)/1e3),
+			bench.Pct(p.OverlapPct))
+	}
+	t.Notes = append(t.Notes,
+		"aware = per-device cutoffs: BlueField-3 senders offload, BlueField-2 senders stay host",
+		"adaptive is capability-blind (one cutoff for the whole fleet) and leaves the margin on the table")
+	return t
+}

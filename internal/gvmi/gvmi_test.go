@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/device"
 	"repro/internal/fabric"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -31,11 +32,11 @@ func newRig(n int) *rig {
 	rg := &rig{k: k, f: f, r: r, m: m}
 	for i := 0; i < n; i++ {
 		hs := mem.NewSpace("host")
-		hep := f.NewEndpoint("host", i, fabric.HostPortParams)
+		hep := f.NewEndpoint("host", i, device.Baseline().HostPort)
 		rg.hostSp = append(rg.hostSp, hs)
 		rg.hostCtx = append(rg.hostCtx, r.NewCtx("host", hs, hep))
 		ds := mem.NewSpace("dpu")
-		dep := f.NewEndpoint("dpu", i, fabric.DPUPortParams)
+		dep := f.NewEndpoint("dpu", i, device.Baseline().DPUPort)
 		rg.dpuSp = append(rg.dpuSp, ds)
 		rg.dpuCtx = append(rg.dpuCtx, r.NewCtx("dpu", ds, dep))
 	}

@@ -1,0 +1,103 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/datapath"
+	"repro/internal/device"
+)
+
+// ScaledCutoff must reproduce the calibrated per-device breakevens exactly
+// (every rank computes it independently — a one-byte disagreement desyncs
+// a collective), and degrade to the unscaled anchor on broken profiles.
+func TestScaledCutoff(t *testing.T) {
+	if got := ScaledCutoff(device.Baseline()); got != AwareAnchor {
+		t.Fatalf("baseline cutoff = %d, want the anchor %d", got, AwareAnchor)
+	}
+	// bf3: 8192 * (350*250)/(220*600) = 5430 (integer-truncated).
+	if got := ScaledCutoff(device.MustLookup("bf3")); got != 5430 {
+		t.Fatalf("bf3 cutoff = %d, want 5430", got)
+	}
+	var degenerate device.Profile
+	if got := ScaledCutoff(degenerate); got != AwareAnchor {
+		t.Fatalf("degenerate-port cutoff = %d, want the anchor %d", got, AwareAnchor)
+	}
+	// The anchor deliberately sits below the eager threshold: offload
+	// amortizes before eager RDMA stops.
+	if AwareAnchor >= SmallMsgCutoff {
+		t.Fatalf("AwareAnchor %d >= SmallMsgCutoff %d; aware would never differ from adaptive", AwareAnchor, SmallMsgCutoff)
+	}
+}
+
+// The aware rule is Adaptive's shape with the device-scaled cutoff, and
+// collapses to the blind rule when a request carries no capabilities.
+func TestAwareRule(t *testing.T) {
+	bf2 := device.Baseline()
+	bf3 := device.MustLookup("bf3")
+	cut2, cut3 := ScaledCutoff(bf2), ScaledCutoff(bf3)
+	cases := []struct {
+		q      Request
+		want   datapath.Kind
+		reason string
+	}{
+		// Groups: host at or below the device cutoff, cross-GVMI above.
+		{Request{Class: ClassGroup, Size: cut2, Caps: &bf2}, datapath.KindHostDirect, "small-msg"},
+		{Request{Class: ClassGroup, Size: cut2 + 1, Caps: &bf2}, datapath.KindCrossGVMI, "group-direct"},
+		// The same size flips with the device: 6000 bytes is host on bf2,
+		// offloaded on bf3. This spread is the mixed-fleet margin.
+		{Request{Class: ClassP2P, Size: 6000, Caps: &bf2}, datapath.KindHostDirect, "small-msg"},
+		{Request{Class: ClassP2P, Size: 6000, Caps: &bf3}, datapath.KindCrossGVMI, "large-msg"},
+		{Request{Class: ClassP2P, Size: cut3, Caps: &bf3}, datapath.KindHostDirect, "small-msg"},
+		// One-sided always offloads; intra-node always stays on the host.
+		{Request{Class: ClassOneSided, Size: 8, Caps: &bf3}, datapath.KindCrossGVMI, "one-sided"},
+		{Request{Class: ClassP2P, Size: 1 << 20, Intra: true, Caps: &bf3}, datapath.KindHostDirect, "intra-node"},
+	}
+	for _, c := range cases {
+		d := Aware{}.Decide(c.q)
+		if d.Path != c.want || d.Reason != c.reason {
+			t.Errorf("Aware.Decide(%+v) = %+v, want {%v %s}", c.q, d, c.want, c.reason)
+		}
+	}
+
+	// No capabilities: byte-for-byte the blind adaptive rule.
+	for _, q := range []Request{
+		{Class: ClassGroup, Size: SmallMsgCutoff},
+		{Class: ClassGroup, Size: SmallMsgCutoff + 1},
+		{Class: ClassP2P, Size: AwareAnchor + 1}, // adaptive hosts this, aware-with-caps would not
+		{Class: ClassOneSided, Size: 8},
+	} {
+		if got, want := (Aware{}).Decide(q), (Adaptive{}).Decide(q); got != want {
+			t.Errorf("capless Aware.Decide(%+v) = %+v, want adaptive's %+v", q, got, want)
+		}
+	}
+}
+
+// Feedback's probe list narrows to what the device can actually run.
+func TestCapsCandidates(t *testing.T) {
+	bf2 := device.Baseline()
+	ipu := device.MustLookup("ipu-e2100")
+	dsa := device.MustLookup("dsa-offpath")
+	cases := []struct {
+		name string
+		p    *device.Profile
+		want []datapath.Kind
+	}{
+		{"nil", nil, []datapath.Kind{datapath.KindCrossGVMI, datapath.KindStaged, datapath.KindHostDirect}},
+		{"bf2", &bf2, []datapath.Kind{datapath.KindCrossGVMI, datapath.KindStaged, datapath.KindHostDirect}},
+		{"ipu", &ipu, []datapath.Kind{datapath.KindStaged, datapath.KindHostDirect}},
+		{"dsa", &dsa, []datapath.Kind{datapath.KindDSA, datapath.KindStaged, datapath.KindHostDirect}},
+	}
+	for _, c := range cases {
+		got := capsCandidates(c.p)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: candidates %v, want %v", c.name, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: candidates %v, want %v", c.name, got, c.want)
+				break
+			}
+		}
+	}
+}

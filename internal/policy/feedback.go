@@ -8,6 +8,7 @@ package policy
 
 import (
 	"repro/internal/datapath"
+	"repro/internal/device"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -46,6 +47,19 @@ type FeedbackConfig struct {
 	// its own cost estimate degrades. 0 disables the gauge trigger; it is
 	// also inert when the engine records into no registry.
 	QueueDepthLimit float64
+	// RetryLimit arms the fabric-congestion trigger on the per-endpoint
+	// retry gauges ("verbs … endpoint_retries", exported only under rich
+	// telemetry): a frozen proxy-backed choice re-probes when the worst
+	// endpoint's cumulative retransmissions grew by at least this many
+	// since the freeze. 0 (the default) disables the trigger, keeping
+	// legacy decision streams bit-exact.
+	RetryLimit float64
+	// GoodputFloor arms the starvation trigger on the per-endpoint
+	// goodput gauges ("fabric … goodput_bytes", rich telemetry): a frozen
+	// proxy-backed choice re-probes when the worst-case delivered-byte
+	// progress since the freeze stayed below this floor for a full
+	// cooldown window. 0 (the default) disables it.
+	GoodputFloor float64
 }
 
 // DefaultFeedbackConfig returns the tuning the drift bench is validated
@@ -90,6 +104,13 @@ func (st *fbPathStats) resetWindow() {
 type fbEntry struct {
 	obs map[datapath.Kind]*fbPathStats
 
+	// cands is the candidate list this entry probes: fbCandidates
+	// filtered (and extended with the DSA engine) by the first request's
+	// device capabilities. Caps are constant for a run — collectives
+	// carry the fleet merge — so the list is fixed at entry creation and
+	// identical on every rank.
+	cands []datapath.Kind
+
 	frozen bool
 	choice datapath.Kind
 	// fSum/fN snapshot the chosen path's windowed mean at freeze time —
@@ -99,7 +120,12 @@ type fbEntry struct {
 	// fDepth is the max proxy queue depth at freeze time (gauge trigger
 	// reference; re-freezing under congestion re-bases it, so a
 	// persistently loaded proxy does not re-trigger every cooldown).
-	fDepth     float64
+	fDepth float64
+	// fRetries/fGoodput snapshot the worst-endpoint cumulative retry and
+	// goodput gauges at freeze time; the congestion triggers compare
+	// growth-since-freeze against RetryLimit / GoodputFloor.
+	fRetries   float64
+	fGoodput   float64
 	freezeCall int
 	// probeStart is the first call of the current probe round; epoch
 	// counts completed re-probe rounds (0 = initial learning).
@@ -165,11 +191,30 @@ func (f *Feedback) entry(q Request) *fbEntry {
 	if e == nil {
 		e = &fbEntry{
 			obs:       make(map[datapath.Kind]*fbPathStats),
+			cands:     capsCandidates(q.Caps),
 			decisions: make(map[int]Decision),
 		}
 		f.table[key] = e
 	}
 	return e
+}
+
+// capsCandidates filters the probe list by device capabilities: paths the
+// device cannot run are dropped (probing them would just re-measure their
+// fallback under another name) and the DSA engine joins the list when one
+// exists. Nil or full-capability profiles reproduce fbCandidates exactly.
+func capsCandidates(p *device.Profile) []datapath.Kind {
+	if p == nil {
+		return fbCandidates
+	}
+	cands := make([]datapath.Kind, 0, len(fbCandidates)+1)
+	if p.CrossGVMI {
+		cands = append(cands, datapath.KindCrossGVMI)
+	}
+	if p.HasDSA {
+		cands = append(cands, datapath.KindDSA)
+	}
+	return append(cands, datapath.KindStaged, datapath.KindHostDirect)
 }
 
 // Decide implements Policy.
@@ -196,19 +241,21 @@ func (f *Feedback) decide(e *fbEntry, call int) Decision {
 		if e.epoch > 0 {
 			reason = "reprobe"
 		}
-		if idx := call - e.probeStart; idx >= 0 && idx < len(fbCandidates) {
-			return Decision{Path: fbCandidates[idx], Reason: reason}
+		if idx := call - e.probeStart; idx >= 0 && idx < len(e.cands) {
+			return Decision{Path: e.cands[idx], Reason: reason}
 		}
 		best, ok := f.argmin(e)
 		if !ok {
 			// Every probe cost was lost (chaos drops): never freeze an
 			// unobserved entry, keep probing round-robin.
-			return Decision{Path: fbCandidates[(call-e.probeStart)%len(fbCandidates)], Reason: "probe-retry"}
+			return Decision{Path: e.cands[(call-e.probeStart)%len(e.cands)], Reason: "probe-retry"}
 		}
 		st := e.obs[best]
 		e.frozen, e.choice = true, best
 		e.fSum, e.fN = st.wsum, int64(st.wn)
 		e.fDepth = f.queueDepth()
+		e.fRetries = f.maxGauge("verbs", "endpoint_retries")
+		e.fGoodput = f.maxGauge("fabric", "goodput_bytes")
 		e.freezeCall = call
 		return Decision{Path: best, Reason: "learned"}
 	}
@@ -222,7 +269,7 @@ func (f *Feedback) decide(e *fbEntry, call int) Decision {
 		for _, st := range e.obs {
 			st.resetWindow()
 		}
-		return Decision{Path: fbCandidates[0], Reason: "reprobe"}
+		return Decision{Path: e.cands[0], Reason: "reprobe"}
 	}
 	return Decision{Path: e.choice, Reason: "learned"}
 }
@@ -232,11 +279,11 @@ func (f *Feedback) decide(e *fbEntry, call int) Decision {
 // incumbent is considered first, so a full tie keeps the previous choice
 // (no flap on equal costs); the initial epoch prefers candidate order.
 func (f *Feedback) argmin(e *fbEntry) (datapath.Kind, bool) {
-	order := fbCandidates
+	order := e.cands
 	if e.epoch > 0 {
-		order = make([]datapath.Kind, 0, len(fbCandidates))
+		order = make([]datapath.Kind, 0, len(e.cands))
 		order = append(order, e.choice)
-		for _, k := range fbCandidates {
+		for _, k := range e.cands {
 			if k != e.choice {
 				order = append(order, k)
 			}
@@ -281,7 +328,30 @@ func (f *Feedback) drifted(e *fbEntry) bool {
 			return true
 		}
 	}
+	if e.choice != datapath.KindHostDirect {
+		// Fabric-congestion triggers (rich telemetry gauges): both compare
+		// deltas since the freeze, so re-freezing re-bases them and a
+		// persistently retransmitting fabric triggers once per epoch.
+		if f.cfg.RetryLimit > 0 &&
+			f.maxGauge("verbs", "endpoint_retries")-e.fRetries >= f.cfg.RetryLimit {
+			return true
+		}
+		if f.cfg.GoodputFloor > 0 &&
+			f.maxGauge("fabric", "goodput_bytes")-e.fGoodput < f.cfg.GoodputFloor {
+			return true
+		}
+	}
 	return false
+}
+
+// maxGauge reads the maximum gauge of one (layer, name) series family out
+// of the attached registry (0 without one — the triggers stay disarmed).
+func (f *Feedback) maxGauge(layer, name string) float64 {
+	v, ok := f.reg.MaxGauge(layer, name)
+	if !ok {
+		return 0
+	}
+	return v
 }
 
 // queueDepth reads the worst current proxy backlog from the registry (0

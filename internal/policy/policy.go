@@ -37,6 +37,7 @@ import (
 	"math/bits"
 
 	"repro/internal/datapath"
+	"repro/internal/device"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -79,6 +80,13 @@ type Request struct {
 	// Call is the 0-based invocation count of this operation site (call
 	// site x size), maintained by the caller. Measuring probes by it.
 	Call int
+	// Caps is the device profile the decision must be legal for: the
+	// sender's node profile for point-to-point, the fleet capability merge
+	// for collectives (all ranks must agree — see device.Merge). Nil keeps
+	// the legacy capability-blind rules, bit-exactly. Only the Aware
+	// policy and the engine's legality pass consult it; Fixed, Adaptive,
+	// and Measuring ignore it by construction.
+	Caps *device.Profile
 }
 
 // Decision is a chosen path plus the rule that chose it (recorded in
@@ -364,9 +372,17 @@ func NewEngineFor(p Policy, m *metrics.Registry, tenant string) *Engine {
 // Name returns the wrapped policy's name.
 func (e *Engine) Name() string { return e.p.Name() }
 
-// Decide chooses a path and records the decision.
+// Decide chooses a path and records the decision. When the request carries
+// device capabilities, the chosen path is degraded to one the device can
+// actually run (datapath.Resolve) before it is recorded — the counters
+// then audit what executed, and a capability-blind policy stays legal on a
+// reduced part without knowing it. On full-capability profiles (and on
+// nil Caps) the pass is the identity, bit-exact with the legacy engine.
 func (e *Engine) Decide(q Request) Decision {
 	d := e.p.Decide(q)
+	if q.Caps != nil {
+		d.Path = datapath.Resolve(d.Path, datapath.Caps{CrossGVMI: q.Caps.CrossGVMI, DSA: q.Caps.HasDSA})
+	}
 	if e.m.Enabled() {
 		c := e.mByPath[d.Path]
 		if c == nil {

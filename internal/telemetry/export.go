@@ -83,6 +83,7 @@ type SeriesLine struct {
 	Entity      string    `json:"entity"`
 	Name        string    `json:"name"`
 	Tenant      string    `json:"tenant,omitempty"`
+	Device      string    `json:"device,omitempty"`
 	Kind        string    `json:"kind"`
 	WidthNS     int64     `json:"width_ns"`
 	FirstBucket int       `json:"first_bucket"`
@@ -108,6 +109,7 @@ func WriteJSONL(w io.Writer, recs ...*Recorder) error {
 				Entity:      s.Key.Entity,
 				Name:        s.Key.Name,
 				Tenant:      s.Key.Tenant,
+				Device:      r.Device(s.Key.Entity),
 				Kind:        s.Kind.String(),
 				WidthNS:     int64(r.cfg.Width),
 				FirstBucket: s.start,
@@ -150,15 +152,20 @@ func tsName(s *Series) string {
 	return n
 }
 
-// tsLabels renders one series' label set: entity, optional tenant, and the
+// tsLabels renders one series' label set: entity, optional tenant, the
+// owning node's device profile when the recorder has a device map, and the
 // recorder's run label when present.
-func tsLabels(s *Series, run string) string {
+func tsLabels(s *Series, dev, run string) string {
 	var b strings.Builder
 	b.WriteString("entity=")
 	b.WriteString(metrics.PromLabelValue(s.Key.Entity))
 	if s.Key.Tenant != "" {
 		b.WriteString(",tenant=")
 		b.WriteString(metrics.PromLabelValue(s.Key.Tenant))
+	}
+	if dev != "" {
+		b.WriteString(",device=")
+		b.WriteString(metrics.PromLabelValue(dev))
 	}
 	if run != "" {
 		b.WriteString(",run=")
@@ -192,7 +199,7 @@ func WritePrometheusTS(w io.Writer, recs ...*Recorder) error {
 					name, s.Key.Name, s.Key.Layer)
 				fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
 			}
-			lbl := tsLabels(s, r.label)
+			lbl := tsLabels(s, r.Device(s.Key.Entity), r.label)
 			cum := s.base
 			for i := 0; i < s.n; i++ {
 				end := sim.Time(s.start+i+1) * r.cfg.Width

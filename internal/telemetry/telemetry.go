@@ -188,6 +188,12 @@ type Recorder struct {
 	cfg   Config
 	label string
 
+	// devices maps per-node entity names ("n0.host", "proxy3") to device
+	// profile names; exports tag matching series with a device label. Empty
+	// (the default, and always on unprofiled fleets) adds nothing, so
+	// pre-device exports are byte-identical.
+	devices map[string]string
+
 	reg    *metrics.Registry
 	index  map[seriesID]*Series
 	series []*Series // creation order; exports sort
@@ -234,6 +240,25 @@ func (r *Recorder) Width() sim.Time {
 		return 0
 	}
 	return r.cfg.Width
+}
+
+// SetDeviceLabels installs the entity-to-device-profile map exports use to
+// tag per-node series (cluster.DeviceLabels supplies it). Nil-safe; an
+// empty or nil map leaves every export byte-identical.
+func (r *Recorder) SetDeviceLabels(m map[string]string) {
+	if r == nil || len(m) == 0 {
+		return
+	}
+	r.devices = m
+}
+
+// Device returns the device profile name of an entity ("" when unmapped);
+// nil-safe.
+func (r *Recorder) Device(entity string) string {
+	if r == nil {
+		return ""
+	}
+	return r.devices[entity]
 }
 
 // Start attaches the recorder to a kernel and registry: watched series that

@@ -409,3 +409,48 @@ func TestSamplingHotPathDoesNotAllocate(t *testing.T) {
 		t.Fatalf("sampling hot path allocates %.1f allocs/op, want 0", allocs)
 	}
 }
+
+func TestDeviceLabelsTagPerNodeSeries(t *testing.T) {
+	script := func(k *sim.Kernel, reg *metrics.Registry) {
+		c := reg.Counter("fabric", "n0.host", "msgs_tx")
+		k.At(50, func() { c.Add(2) })
+	}
+
+	// Without a device map, exports carry no device dimension.
+	plain, _ := run(t, testConfig(64), script)
+	var sb strings.Builder
+	if err := WriteJSONL(&sb, plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "device") {
+		t.Fatalf("unlabelled recorder exported a device dimension:\n%s", sb.String())
+	}
+
+	labelled, _ := run(t, testConfig(64), script)
+	labelled.SetDeviceLabels(map[string]string{"n0.host": "bf3"})
+	sb.Reset()
+	if err := WriteJSONL(&sb, labelled); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"device":"bf3"`) {
+		t.Fatalf("JSONL missing device label:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := WritePrometheusTS(&sb, labelled); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `entity="n0.host",device="bf3"`) {
+		t.Fatalf("prometheus missing device label:\n%s", sb.String())
+	}
+
+	// Entities outside the map (other layers, SLO series) stay untagged.
+	if labelled.Device("proxy9") != "" {
+		t.Fatal("unmapped entity reported a device")
+	}
+	// Nil-safe paths.
+	var nilRec *Recorder
+	nilRec.SetDeviceLabels(map[string]string{"x": "y"})
+	if nilRec.Device("x") != "" {
+		t.Fatal("nil recorder reported a device")
+	}
+}

@@ -3,6 +3,7 @@ package verbs
 import (
 	"testing"
 
+	"repro/internal/device"
 	"repro/internal/fabric"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -28,8 +29,8 @@ func newPoolRig(t *testing.T, backed bool) *poolRig {
 	const size = 4096
 	addrA := spA.Alloc(size, backed).Addr()
 	addrB := spB.Alloc(size, backed).Addr()
-	a := reg.NewCtx("a", spA, f.NewEndpoint("n0.host", 0, fabric.HostPortParams))
-	b := reg.NewCtx("b", spB, f.NewEndpoint("n1.host", 1, fabric.HostPortParams))
+	a := reg.NewCtx("a", spA, f.NewEndpoint("n0.host", 0, device.Baseline().HostPort))
+	b := reg.NewCtx("b", spB, f.NewEndpoint("n1.host", 1, device.Baseline().HostPort))
 	rig := &poolRig{k: k, reg: reg, a: a, b: b}
 	k.Spawn("setup", func(p *sim.Proc) {
 		rig.mrA = a.RegisterMR(p, addrA, size)

@@ -156,6 +156,9 @@ func (c *Ctx) retryOrFail(kind string, size, attempt int, from sim.Time, again f
 	inj.Stats.Retries++
 	c.reg.mRetries.Inc()
 	c.reg.mBackoffNS.Add(int64(rc.Delay(attempt)))
+	if g := c.reg.epRetryGauge(c.ep.Name()); g != nil {
+		g.Set(g.Value() + 1)
+	}
 	inj.Note(k.Now(), c.name, "retry",
 		fmt.Sprintf("%s size=%d attempt=%d backoff=%s", kind, size, attempt, rc.Delay(attempt)))
 	k.At(from-k.Now()+rc.Delay(attempt), again)

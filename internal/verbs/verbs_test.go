@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/device"
 	"repro/internal/fabric"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -24,7 +25,7 @@ func newRig(n int) *rig {
 	rg := &rig{k: k, f: f, r: r}
 	for i := 0; i < n; i++ {
 		sp := mem.NewSpace("p")
-		ep := f.NewEndpoint("host", i, fabric.HostPortParams)
+		ep := f.NewEndpoint("host", i, device.Baseline().HostPort)
 		rg.sp = append(rg.sp, sp)
 		rg.ctx = append(rg.ctx, r.NewCtx("ctx", sp, ep))
 	}
@@ -270,7 +271,7 @@ func TestSizeOnlyRDMAWriteAdvancesTimeWithoutCopy(t *testing.T) {
 		}
 	})
 	end := rg.k.Run()
-	if done == 0 || end < sim.Time(float64(1<<20)/fabric.HostPortParams.GBps) {
+	if done == 0 || end < sim.Time(float64(1<<20)/device.Baseline().HostPort.GBps) {
 		t.Fatalf("size-only transfer mistimed: done=%v end=%v", done, end)
 	}
 }
